@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Each benchmark regenerates one paper figure/table.  Benchmarks run each
+harness once (``benchmark.pedantic`` with a single round) because the point
+is to produce the figure's data and record how long regeneration takes, not
+to micro-benchmark hot loops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """The trace used by the characterization and evaluation benchmarks."""
+    config = TraceGeneratorConfig(n_vms=800, n_days=14, seed=2024,
+                                  n_subscriptions=60, servers_per_cluster=3)
+    return TraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def packing_trace():
+    """A higher-pressure trace for the packing/capacity benchmark (Figure 20)."""
+    config = TraceGeneratorConfig(n_vms=1200, n_days=14, seed=11,
+                                  n_subscriptions=80, servers_per_cluster=3)
+    return TraceGenerator(config).generate()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Ablation benches for the design choices called out in DESIGN.md."""
+import numpy as np
+from conftest import run_once
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.windows import (
+    multiplexed_oversubscribed_memory,
+    plan_vm,
+    unmultiplexed_oversubscribed_memory,
+)
+from repro.prediction.utilization_model import OracleUtilizationModel
+from repro.trace.timeseries import TimeWindowConfig
+
+
+def _va_multiplexing_savings(trace, window_hours):
+    """How much Eq. 4 multiplexing saves over summing per-VM VA peaks."""
+    windows = TimeWindowConfig(window_hours)
+    oracle = OracleUtilizationModel(windows, 95.0)
+    vms = [vm for vm in trace.long_running() if vm.has_utilization()][:150]
+    plans = []
+    for vm in vms:
+        allocation = {r: vm.allocated(r) for r in ALL_RESOURCES}
+        plans.append(plan_vm(vm.vm_id, allocation, oracle.predict(vm), True))
+    multiplexed = multiplexed_oversubscribed_memory(plans)
+    naive = unmultiplexed_oversubscribed_memory(plans)
+    return multiplexed, naive
+
+
+def test_ablation_va_multiplexing(benchmark, bench_trace):
+    multiplexed, naive = run_once(benchmark, _va_multiplexing_savings, bench_trace, 4)
+    saved = 100.0 * (1.0 - multiplexed / max(naive, 1e-9))
+    print(f"\nAblation: Eq.4 multiplexing backs {multiplexed:.0f}GB vs naive {naive:.0f}GB "
+          f"({saved:.0f}% less)")
+    assert multiplexed <= naive + 1e-6
+
+
+def test_ablation_window_length(benchmark, bench_trace):
+    def sweep():
+        return {h: _va_multiplexing_savings(bench_trace, h)[0] for h in (24, 4, 1)}
+    result = run_once(benchmark, sweep)
+    print("\nAblation: VA backing by window length:",
+          {h: round(v, 1) for h, v in result.items()})
+    assert result[1] <= result[24] + 1e-6

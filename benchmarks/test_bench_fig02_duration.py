@@ -1,0 +1,13 @@
+"""Figure 2: resource hours and VM share by VM duration."""
+from conftest import run_once
+from repro.experiments.figures import figure02_duration
+
+
+def test_fig02_resource_hours_by_duration(benchmark, bench_trace):
+    rows = run_once(benchmark, figure02_duration, bench_trace)
+    one_day = rows["threshold_hours"].index(24)
+    print("\nFigure 2 @ >1 day: "
+          f"CPU-hours {rows['cpu_hours_pct'][one_day]:.1f}% "
+          f"MEM-hours {rows['memory_hours_pct'][one_day]:.1f}% "
+          f"VMs {rows['vms_pct'][one_day]:.1f}%  (paper: ~96% / ~96% / ~28%)")
+    assert rows["cpu_hours_pct"][one_day] > 80.0

@@ -1,0 +1,12 @@
+"""Figure 3: resource hours and VM share by VM size."""
+from conftest import run_once
+from repro.experiments.figures import figure03_size
+
+
+def test_fig03_resource_hours_by_size(benchmark, bench_trace):
+    rows = run_once(benchmark, figure03_size, bench_trace)
+    idx32 = rows["memory"]["threshold"].index(32)
+    print("\nFigure 3 @ >=32GB: "
+          f"GB-hours {rows['memory']['resource_hours_pct'][idx32]:.1f}% "
+          f"VMs {rows['memory']['vms_pct'][idx32]:.1f}%  (paper: >60% / ~20%)")
+    assert rows["memory"]["resource_hours_pct"][idx32] > rows["memory"]["vms_pct"][idx32]

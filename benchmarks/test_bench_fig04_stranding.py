@@ -1,0 +1,11 @@
+"""Figure 4: stranding per resource under hypothetical oversubscription."""
+from conftest import run_once
+from repro.experiments.figures import figure04_stranding
+
+
+def test_fig04_stranding(benchmark, bench_trace):
+    rows = run_once(benchmark, figure04_stranding, bench_trace)
+    print("\nFigure 4 stranding %:")
+    for scenario, per_resource in rows.items():
+        print(f"  {scenario:12s} " + " ".join(f"{k}={v:.1f}" for k, v in per_resource.items()))
+    assert set(rows) == {"no-oversub", "cpu-only", "cpu+memory"}

@@ -1,0 +1,13 @@
+"""Figure 5: bottleneck resource per cluster."""
+from conftest import run_once
+from repro.experiments.figures import figure05_bottlenecks
+
+
+def test_fig05_bottlenecks(benchmark, bench_trace):
+    rows = run_once(benchmark, figure05_bottlenecks, bench_trace)
+    base = rows["no-oversub"]
+    print("\nFigure 5 (no oversub) bottleneck % per cluster:")
+    for cluster in ("C1", "C2", "C4"):
+        print(f"  {cluster}: " + " ".join(f"{k}={v:.0f}" for k, v in base[cluster].items()))
+    assert base["C1"]["cpu"] >= base["C4"]["cpu"]
+    assert base["C4"]["memory"] >= base["C1"]["memory"]

@@ -1,0 +1,13 @@
+"""Figure 6: CPU/memory utilization correlation."""
+from conftest import run_once
+from repro.experiments.figures import figure06_utilization
+
+
+def test_fig06_utilization_correlation(benchmark, bench_trace):
+    rows = run_once(benchmark, figure06_utilization, bench_trace)
+    summary = rows["summary"]
+    print("\nFigure 6 summary: "
+          f"CPU mean<50%: {100*summary['fraction_cpu_mean_below_50']:.0f}%  "
+          f"median CPU range {100*summary['median_cpu_range']:.0f}%  "
+          f"median MEM range {100*summary['median_memory_range']:.0f}%")
+    assert summary["median_memory_range"] < summary["median_cpu_range"]

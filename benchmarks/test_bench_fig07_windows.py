@@ -1,0 +1,10 @@
+"""Figure 7: week-long VM utilization profile with window maxima."""
+from conftest import run_once
+from repro.experiments.figures import figure07_vm_profile
+
+
+def test_fig07_vm_profile(benchmark, bench_trace):
+    profile = run_once(benchmark, figure07_vm_profile, bench_trace)
+    print("\nFigure 7 lifetime window maxima:", [round(float(x), 2)
+          for x in profile["lifetime_window_max"]])
+    assert profile["lifetime_window_max"].shape == (3,)

@@ -1,0 +1,10 @@
+"""Figure 8: peaks/valleys per 4-hour time window."""
+from conftest import run_once
+from repro.experiments.figures import figure08_peaks
+
+
+def test_fig08_peaks_valleys(benchmark, bench_trace):
+    rows = run_once(benchmark, figure08_peaks, bench_trace)
+    print("\nFigure 8: VMs without CPU peaks per weekday:",
+          [round(float(x), 2) for x in rows["cpu"]["none"]])
+    assert rows["cpu"]["peaks"].shape == (7, 6)

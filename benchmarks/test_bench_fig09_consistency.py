@@ -1,0 +1,14 @@
+"""Figure 9: day-over-day peak/valley consistency."""
+from conftest import run_once
+from repro.experiments.figures import figure09_consistency
+
+
+def test_fig09_consistency(benchmark, bench_trace):
+    rows = run_once(benchmark, figure09_consistency, bench_trace)
+    cpu_4h = rows["cpu"][4]
+    idx20 = cpu_4h["diff_threshold"].index(0.20)
+    mem_4h = rows["memory"][4]
+    idx5 = mem_4h["diff_threshold"].index(0.05)
+    print(f"\nFigure 9: CPU diffs <=20%: {100*cpu_4h['cdf'][idx20]:.0f}% "
+          f"(paper ~80%), MEM diffs <=5%: {100*mem_4h['cdf'][idx5]:.0f}% (paper ~80%)")
+    assert cpu_4h["cdf"][idx20] > 0.5

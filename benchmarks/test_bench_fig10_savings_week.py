@@ -1,0 +1,13 @@
+"""Figure 10: potential weekly savings for one cluster."""
+from conftest import run_once
+from repro.experiments.figures import figure10_weekly_savings
+
+
+def test_fig10_weekly_savings(benchmark, bench_trace):
+    rows = run_once(benchmark, figure10_weekly_savings, bench_trace, cluster_id="C1")
+    import numpy as np
+    cpu_4h = float(np.mean(rows["6x4hr"]["cpu"]))
+    mem_4h = float(np.mean(rows["6x4hr"]["memory"]))
+    print(f"\nFigure 10 (C1, 6x4hr): CPU saved {cpu_4h:.1f}% MEM saved {mem_4h:.1f}% "
+          "(paper: ~20% / ~15%)")
+    assert cpu_4h > 0

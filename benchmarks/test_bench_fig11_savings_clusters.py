@@ -1,0 +1,12 @@
+"""Figure 11: savings distribution across clusters and window lengths."""
+from conftest import run_once
+from repro.experiments.figures import figure11_savings_distribution
+
+
+def test_fig11_savings_distribution(benchmark, bench_trace):
+    rows = run_once(benchmark, figure11_savings_distribution, bench_trace)
+    print("\nFigure 11 median savings % (cpu/memory):")
+    for label in ("1x24hr", "6x4hr", "24x1hr", "ideal"):
+        print(f"  {label:7s} cpu={rows[label]['cpu']['median']:.1f} "
+              f"mem={rows[label]['memory']['median']:.1f}")
+    assert rows["6x4hr"]["cpu"]["median"] >= rows["1x24hr"]["cpu"]["median"]

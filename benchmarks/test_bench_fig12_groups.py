@@ -1,0 +1,14 @@
+"""Figure 12: history-based predictability by grouping."""
+from conftest import run_once
+from repro.experiments.figures import figure12_predictability
+
+
+def test_fig12_predictability(benchmark, bench_trace):
+    rows = run_once(benchmark, figure12_predictability, bench_trace)
+    print("\nFigure 12 (memory):")
+    for grouping, stats in rows["summary_memory"].items():
+        print(f"  {grouping:28s} matches={stats['median_matching_vms']:.0f} "
+              f"range={stats['median_peak_range_pct']:.0f}% "
+              f"within10%={100*stats['fraction_within_tolerance']:.0f}%")
+    combined = rows["summary_memory"]["subscription+configuration"]
+    assert combined["median_peak_range_pct"] <= rows["summary_memory"]["configuration"]["median_peak_range_pct"] + 1e-9

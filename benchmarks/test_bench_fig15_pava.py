@@ -1,0 +1,14 @@
+"""Figure 15: PA/VA slowdown and allocation trade-off."""
+from conftest import run_once
+from repro.experiments.figures import figure15_pa_va_tradeoff
+
+
+def test_fig15_pa_va_tradeoff(benchmark):
+    rows = run_once(benchmark, figure15_pa_va_tradeoff, step_gb=4.0)
+    points = {(pa, va): (s, a) for pa, va, s, a in zip(
+        rows["pa_gb"], rows["va_gb"], rows["slowdown"], rows["allocated_gb"])}
+    print(f"\nFigure 15: (32PA,0VA) slowdown {points[(32.0,0.0)][0]:.2f} alloc "
+          f"{points[(32.0,0.0)][1]:.0f}GB; (16PA,16VA) slowdown {points[(16.0,16.0)][0]:.2f} "
+          f"alloc {points[(16.0,16.0)][1]:.0f}GB; (8PA,0VA) slowdown {points[(8.0,0.0)][0]:.1f}")
+    assert points[(32.0, 0.0)][0] == 1.0
+    assert points[(16.0, 16.0)][1] < 32.0

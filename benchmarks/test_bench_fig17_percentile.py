@@ -1,0 +1,13 @@
+"""Figure 17: oversubscribed accesses vs prediction percentile."""
+from conftest import run_once
+from repro.experiments.figures import figure17_oversub_accesses
+
+
+def test_fig17_percentile_tradeoff(benchmark, bench_trace):
+    rows = run_once(benchmark, figure17_oversub_accesses, bench_trace,
+                    percentiles=(65, 80, 95), window_hours_sweep=(1, 4, 24))
+    table = rows["mean_oversub_access_pct"]
+    print("\nFigure 17 mean oversubscribed-access % (window hrs x percentile):")
+    for hours, row in table.items():
+        print(f"  {hours:2d}h " + " ".join(f"P{p}={v:.1f}" for p, v in row.items()))
+    assert table[4][95] <= table[4][65] + 1e-9

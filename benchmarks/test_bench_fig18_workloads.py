@@ -1,0 +1,12 @@
+"""Figure 18: workload slowdown under GPVM / CVM / CVM-Floor / OVM."""
+from conftest import run_once
+from repro.experiments.figures import figure18_workloads
+
+
+def test_fig18_workload_slowdowns(benchmark):
+    table = run_once(benchmark, figure18_workloads)
+    print("\nFigure 18 normalised slowdowns:")
+    for name, row in table.items():
+        print(f"  {name:14s} cvm={row['cvm']:.2f} floor={row['cvm-floor']:.2f} ovm={row['ovm']:.2f}")
+    assert all(row["cvm"] <= 1.25 for row in table.values())
+    assert table["kvstore"]["ovm"] > 2.0

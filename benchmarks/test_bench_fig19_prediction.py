@@ -1,0 +1,13 @@
+"""Figure 19: long-term prediction over/under-allocation."""
+from conftest import run_once
+from repro.experiments.figures import figure19_prediction_accuracy
+
+
+def test_fig19_prediction_accuracy(benchmark, bench_trace):
+    rows = run_once(benchmark, figure19_prediction_accuracy, bench_trace,
+                    percentiles=(95.0, 90.0, 85.0), n_estimators=5, max_eval_vms=80)
+    print("\nFigure 19 (paper: over-alloc 23-30% CPU / 19-24% MEM; under-alloc 3-8% / 1-2%):")
+    for row in rows:
+        print(f"  {row.resource:6s} P{row.percentile:.0f}: over={row.over_allocation_error_pct:.1f}% "
+              f"under={row.under_allocation_pct:.1f}%")
+    assert rows

@@ -1,0 +1,13 @@
+"""Figure 21: mitigation policies during memory contention."""
+from conftest import run_once
+from repro.experiments.figures import figure21_mitigation
+
+
+def test_fig21_mitigation_policies(benchmark):
+    rows = run_once(benchmark, figure21_mitigation)
+    print("\nFigure 21 peak slowdowns and recovery:")
+    for name, row in rows.items():
+        print(f"  {name:18s} cache x{row['peak_cache_slowdown']:.2f} "
+              f"kv x{row['peak_kvstore_slowdown']:.2f} recovered={row['recovered']}")
+    assert not rows["none"]["recovered"]
+    assert rows["extend-proactive"]["recovered"]

@@ -1,0 +1,23 @@
+"""Section 4.4: EWMA and LSTM contention-prediction error."""
+import numpy as np
+from conftest import run_once
+from repro.core.resources import Resource
+from repro.prediction.contention import TwoLevelContentionPredictor
+
+
+def _errors(trace):
+    ewma_errors, lstm_errors = [], []
+    vms = [vm for vm in trace.long_running(3.0) if vm.has_utilization()][:20]
+    for vm in vms:
+        series = vm.series(Resource.MEMORY).values
+        ewma_errors.append(TwoLevelContentionPredictor.evaluate_ewma_error(series))
+        lstm_errors.append(TwoLevelContentionPredictor.evaluate_lstm_error(series[:400]))
+    return float(np.mean(ewma_errors)), float(np.mean(lstm_errors))
+
+
+def test_sec44_predictor_errors(benchmark, bench_trace):
+    ewma, lstm = run_once(benchmark, _errors, bench_trace)
+    print(f"\nSection 4.4: EWMA mean error {100*ewma:.1f}% (paper <4%), "
+          f"LSTM mean error {100*lstm:.1f}% (paper ~2%)")
+    assert ewma < 0.15
+    assert lstm < 0.20

@@ -1,0 +1,17 @@
+"""Section 4.5: platform overheads (training, scheduling, predictors, mitigation)."""
+from conftest import run_once
+from repro.experiments.overheads import overhead_report
+
+
+def test_sec45_overheads(benchmark, bench_trace):
+    report = run_once(benchmark, overhead_report, bench_trace, n_estimators=6)
+    training = report["training"]
+    scheduling = report["scheduling"]
+    print(f"\nSection 4.5: training {training['training_seconds']:.1f}s on "
+          f"{training['n_training_vms']:.0f} VMs, model {training['model_size_mb']:.1f}MB, "
+          f"scheduling +{scheduling['added_ms_per_vm']:.2f}ms/VM, "
+          f"LSTM {report['local_predictor']['model_memory_kb']:.0f}KB, "
+          f"trim {report['mitigation']['trim_bandwidth_gbps']}GB/s / "
+          f"extend {report['mitigation']['extend_bandwidth_gbps']}GB/s")
+    assert training["training_seconds"] > 0
+    assert report["local_predictor"]["model_memory_kb"] < 64

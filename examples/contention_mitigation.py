@@ -1,0 +1,31 @@
+"""Contention mitigation: the Figure 21 scenario on one oversubscribed server.
+
+Cache and KV-Store CoachVMs are colocated with a Video-Conf CoachVM that uses
+more memory than predicted; each mitigation policy is compared on how fast it
+restores the oversubscribed pool and how much the latency-critical workloads
+suffer.  Run with ``python examples/contention_mitigation.py``.
+"""
+
+from repro.workloads import run_all_mitigation_policies
+
+
+def main() -> None:
+    timelines = run_all_mitigation_policies(duration_seconds=330.0, interval_seconds=15.0)
+    print(f"{'policy':20s} {'min avail GB':>12s} {'end avail GB':>12s} "
+          f"{'peak cache':>11s} {'peak kv':>9s} {'recovered':>10s}")
+    for name, timeline in timelines.items():
+        print(f"{name:20s} {min(timeline.available_oversub_gb):12.2f} "
+              f"{timeline.available_oversub_gb[-1]:12.2f} "
+              f"x{timeline.peak_slowdown('cache'):10.2f} "
+              f"x{timeline.peak_slowdown('kvstore'):8.2f} "
+              f"{str(timeline.recovered()):>10s}")
+
+    print("\nTakeaways (matching the paper's Figure 21):")
+    print(" * Without mitigation the pool never recovers and tail latency spikes.")
+    print(" * Trimming handles the first contention; it cannot handle the second.")
+    print(" * Extending the pool (and migrating the noisy VM) resolves both;")
+    print("   proactive triggers act before the pool is fully exhausted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setup.py kept so that editable installs work in offline environments
+that lack the ``wheel`` package required for PEP 660 editable builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro: a reproduction of Coach (ASPLOS 2025).
+
+Coach oversubscribes all VM resources in a cloud platform by exploiting
+temporal utilization patterns.  This package provides:
+
+* ``repro.trace`` -- an Azure-like synthetic trace substrate;
+* ``repro.prediction`` -- from-scratch random forests, EWMA, and LSTM
+  predictors used for long-term and local utilization prediction;
+* ``repro.core`` -- CoachVMs, the time-window demand formulation,
+  oversubscription policies, the cluster scheduler, and the server agent;
+* ``repro.simulator`` -- the server memory model and the cluster-scale
+  replay engine;
+* ``repro.workloads`` -- Table-2 workload models and performance experiments;
+* ``repro.characterization`` -- the Section-2 analyses;
+* ``repro.experiments`` -- one harness per paper figure/table.
+"""
+
+from repro.core.policy import (
+    AGGR_COACH_POLICY,
+    COACH_POLICY,
+    NO_OVERSUBSCRIPTION_POLICY,
+    SINGLE_RATE_POLICY,
+    STANDARD_POLICIES,
+)
+from repro.core.resources import Resource, ResourceVector
+from repro.trace.generator import generate_trace, small_trace
+from repro.trace.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGGR_COACH_POLICY",
+    "COACH_POLICY",
+    "NO_OVERSUBSCRIPTION_POLICY",
+    "Resource",
+    "ResourceVector",
+    "SINGLE_RATE_POLICY",
+    "STANDARD_POLICIES",
+    "Trace",
+    "__version__",
+    "generate_trace",
+    "small_trace",
+]

@@ -1,0 +1,60 @@
+"""Section-2 characterization analyses (Figures 2-12)."""
+
+from repro.characterization.allocated import (
+    CORE_THRESHOLDS,
+    DURATION_THRESHOLDS_HOURS,
+    MEMORY_THRESHOLDS_GB,
+    median_vm_shape,
+    resource_hours_by_duration,
+    resource_hours_by_size,
+)
+from repro.characterization.predictability import (
+    GROUPINGS,
+    group_predictability,
+    predictability_summary,
+)
+from repro.characterization.savings import (
+    cluster_savings,
+    savings_distribution,
+    vm_window_savings,
+    weekly_savings_profile,
+)
+from repro.characterization.stranding import (
+    OVERSUBSCRIPTION_SCENARIOS,
+    StrandingResult,
+    measure_stranding,
+    stranding_by_scenario,
+)
+from repro.characterization.temporal import (
+    fraction_consistent,
+    peak_consistency_cdf,
+    peaks_and_valleys_by_window,
+    vm_week_profile,
+)
+from repro.characterization.underutilization import utilization_scatter, utilization_summary
+
+__all__ = [
+    "CORE_THRESHOLDS",
+    "DURATION_THRESHOLDS_HOURS",
+    "GROUPINGS",
+    "MEMORY_THRESHOLDS_GB",
+    "OVERSUBSCRIPTION_SCENARIOS",
+    "StrandingResult",
+    "cluster_savings",
+    "fraction_consistent",
+    "group_predictability",
+    "measure_stranding",
+    "median_vm_shape",
+    "peak_consistency_cdf",
+    "peaks_and_valleys_by_window",
+    "predictability_summary",
+    "resource_hours_by_duration",
+    "resource_hours_by_size",
+    "savings_distribution",
+    "stranding_by_scenario",
+    "utilization_scatter",
+    "utilization_summary",
+    "vm_week_profile",
+    "vm_window_savings",
+    "weekly_savings_profile",
+]

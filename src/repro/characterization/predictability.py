@@ -1,0 +1,101 @@
+"""History-based predictability of new VMs (Section 2.3, Figure 12).
+
+For every VM created in the second week of the trace, prior VMs from the same
+group (subscription, VM configuration, or both) observed in the first week
+are collected; the number of matches and the spread of their peak utilization
+measure how predictive the grouping is, and comparing each VM's actual peak
+with the group's average peak measures accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.resources import Resource
+from repro.trace.timeseries import SLOTS_PER_DAY
+from repro.trace.trace import Trace
+from repro.trace.vm import VMRecord
+
+#: The three groupings compared in Figure 12.
+GROUPINGS = ("subscription", "configuration", "subscription+configuration")
+
+
+def _group_key(vm: VMRecord, grouping: str) -> Tuple[str, ...]:
+    if grouping == "subscription":
+        return (vm.subscription_id,)
+    if grouping == "configuration":
+        return (vm.config.name,)
+    if grouping == "subscription+configuration":
+        return (vm.subscription_id, vm.config.name)
+    raise ValueError(f"unknown grouping {grouping!r}; expected one of {GROUPINGS}")
+
+
+def group_predictability(trace: Trace, resource: Resource = Resource.MEMORY,
+                         split_slot: int | None = None,
+                         min_lifetime_days: float = 0.25
+                         ) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 12: per-VM history size, utilization range, and prediction error.
+
+    Returns, per grouping, parallel lists with one entry per second-week VM:
+    the number of matching prior VMs, the range (max - min, in percent) of
+    their peak utilization, and the absolute difference (in percent) between
+    the VM's actual peak and the group's mean peak.
+    """
+    split = split_slot if split_slot is not None else 7 * SLOTS_PER_DAY
+    history, future = trace.split_at(split)
+    history_vms = [vm for vm in history.vms
+                   if vm.lifetime_days >= min_lifetime_days and vm.has_utilization()]
+    future_vms = [vm for vm in future.vms
+                  if vm.lifetime_days >= min_lifetime_days and vm.has_utilization()]
+
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for grouping in GROUPINGS:
+        groups: Dict[Tuple[str, ...], List[float]] = {}
+        for vm in history_vms:
+            groups.setdefault(_group_key(vm, grouping), []).append(
+                vm.max_utilization(resource))
+
+        match_counts: List[float] = []
+        ranges: List[float] = []
+        errors: List[float] = []
+        for vm in future_vms:
+            peaks = groups.get(_group_key(vm, grouping), [])
+            match_counts.append(float(len(peaks)))
+            if peaks:
+                arr = np.asarray(peaks)
+                ranges.append(100.0 * float(arr.max() - arr.min()))
+                errors.append(100.0 * abs(vm.max_utilization(resource) - float(arr.mean())))
+            else:
+                ranges.append(100.0)
+                errors.append(100.0)
+        results[grouping] = {
+            "matching_vms": match_counts,
+            "peak_range_pct": ranges,
+            "prediction_error_pct": errors,
+        }
+    return results
+
+
+def predictability_summary(trace: Trace, resource: Resource = Resource.MEMORY,
+                           tolerance_pct: float = 10.0,
+                           **kwargs) -> Dict[str, Dict[str, float]]:
+    """Headline numbers from Figure 12: median match count, median range, and
+    the fraction of VMs predicted within ``tolerance_pct`` of their peak."""
+    detail = group_predictability(trace, resource, **kwargs)
+    summary: Dict[str, Dict[str, float]] = {}
+    for grouping, rows in detail.items():
+        matches = np.asarray(rows["matching_vms"])
+        ranges = np.asarray(rows["peak_range_pct"])
+        errors = np.asarray(rows["prediction_error_pct"])
+        matched = matches > 0
+        summary[grouping] = {
+            "median_matching_vms": float(np.median(matches)) if matches.size else 0.0,
+            "median_peak_range_pct": float(np.median(ranges[matched]))
+            if matched.any() else 100.0,
+            "fraction_within_tolerance": float(np.mean(errors[matched] <= tolerance_pct))
+            if matched.any() else 0.0,
+            "fraction_with_history": float(np.mean(matched)) if matches.size else 0.0,
+        }
+    return summary

@@ -1,0 +1,132 @@
+"""Stranded-resource characterization (Section 2.2, Figures 4 and 5).
+
+To measure stranding, hypothetical VMs of the most typical configuration
+(4 GB/core D-series) are packed onto each server until one resource is
+exhausted; whatever remains unallocated is stranded, and the exhausted
+resource is the server's bottleneck.  Oversubscribing CPU (or CPU and memory)
+lets the hypothetical fill also use underutilized allocated resources,
+shifting both stranding and the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.trace.timeseries import SLOTS_PER_DAY
+from repro.trace.trace import Trace
+from repro.trace.vm import TYPICAL_VM_CONFIG, VMConfig
+
+#: The three oversubscription scenarios of Figures 4 and 5.
+OVERSUBSCRIPTION_SCENARIOS = ("no-oversub", "cpu-only", "cpu+memory")
+
+
+@dataclass
+class StrandingResult:
+    """Aggregated stranding statistics for one scenario."""
+
+    scenario: str
+    #: Mean stranded fraction per resource (over servers and sampled slots).
+    stranded_fraction: Dict[Resource, float]
+    #: Fraction of (server, slot) samples where each resource is the
+    #: bottleneck for new allocations.
+    bottleneck_fraction: Dict[Resource, float]
+    #: Per-cluster bottleneck fractions (cluster -> resource -> fraction).
+    per_cluster_bottleneck: Dict[str, Dict[Resource, float]]
+
+
+def _oversubscribable(scenario: str) -> Dict[Resource, bool]:
+    if scenario == "no-oversub":
+        return {r: False for r in ALL_RESOURCES}
+    if scenario == "cpu-only":
+        return {r: r is Resource.CPU for r in ALL_RESOURCES}
+    if scenario == "cpu+memory":
+        return {r: r in (Resource.CPU, Resource.MEMORY) for r in ALL_RESOURCES}
+    raise ValueError(f"unknown scenario {scenario!r}; expected one of "
+                     f"{OVERSUBSCRIPTION_SCENARIOS}")
+
+
+def _fill_server(free: Dict[Resource, float], fill_vm: VMConfig) -> Resource:
+    """Pack hypothetical VMs into the free vector; return the bottleneck resource."""
+    demand = fill_vm.allocation_vector()
+    fits = {r: (free[r] / demand[r] if demand[r] > 0 else np.inf) for r in ALL_RESOURCES}
+    n_fit = int(max(0.0, min(fits.values())))
+    for resource in ALL_RESOURCES:
+        free[resource] -= n_fit * demand[resource]
+    # After filling, the bottleneck is the resource that can fit the fewest
+    # additional VMs (ties broken by canonical order).
+    remaining = {r: (free[r] / demand[r] if demand[r] > 0 else np.inf) for r in ALL_RESOURCES}
+    return min(ALL_RESOURCES, key=lambda r: remaining[r])
+
+
+def measure_stranding(trace: Trace, scenario: str = "no-oversub",
+                      fill_vm: VMConfig = TYPICAL_VM_CONFIG,
+                      sample_every_slots: int = SLOTS_PER_DAY // 4,
+                      clusters: Optional[Sequence[str]] = None) -> StrandingResult:
+    """Measure stranding and bottlenecks for one oversubscription scenario.
+
+    For every sampled slot and every server-equivalent of capacity in each
+    cluster, VMs alive at that slot are assigned their requested allocation
+    (or their utilized amount for oversubscribed resources), hypothetical fill
+    VMs are packed into the remainder, and the leftovers are stranded.
+    """
+    oversub = _oversubscribable(scenario)
+    cluster_ids = list(clusters) if clusters else trace.cluster_ids()
+    slots = range(0, trace.n_slots, max(1, sample_every_slots))
+
+    stranded_totals = {r: 0.0 for r in ALL_RESOURCES}
+    capacity_totals = {r: 0.0 for r in ALL_RESOURCES}
+    bottleneck_counts = {r: 0 for r in ALL_RESOURCES}
+    per_cluster_counts: Dict[str, Dict[Resource, int]] = {}
+    samples = 0
+
+    for cluster_id in cluster_ids:
+        cluster = trace.fleet.get(cluster_id)
+        capacity = cluster.total_capacity()
+        cluster_counts = {r: 0 for r in ALL_RESOURCES}
+        cluster_samples = 0
+        cluster_vms = [vm for vm in trace.vms if vm.cluster_id == cluster_id]
+
+        for slot in slots:
+            alive = [vm for vm in cluster_vms if vm.alive_at(slot)]
+            used = {r: 0.0 for r in ALL_RESOURCES}
+            for vm in alive:
+                for resource in ALL_RESOURCES:
+                    if oversub[resource]:
+                        used[resource] += vm.demand_at(resource, slot)
+                    else:
+                        used[resource] += vm.allocated(resource)
+            free = {r: max(0.0, capacity[r] - used[r]) for r in ALL_RESOURCES}
+            bottleneck = _fill_server(free, fill_vm)
+
+            samples += 1
+            cluster_samples += 1
+            bottleneck_counts[bottleneck] += 1
+            cluster_counts[bottleneck] += 1
+            for resource in ALL_RESOURCES:
+                stranded_totals[resource] += free[resource]
+                capacity_totals[resource] += capacity[resource]
+
+        per_cluster_counts[cluster_id] = {
+            r: (cluster_counts[r] / cluster_samples if cluster_samples else 0.0)
+            for r in ALL_RESOURCES}
+
+    stranded_fraction = {
+        r: (stranded_totals[r] / capacity_totals[r] if capacity_totals[r] else 0.0)
+        for r in ALL_RESOURCES}
+    bottleneck_fraction = {
+        r: (bottleneck_counts[r] / samples if samples else 0.0) for r in ALL_RESOURCES}
+    return StrandingResult(scenario, stranded_fraction, bottleneck_fraction,
+                           {cid: {r: float(v) for r, v in row.items()}
+                            for cid, row in per_cluster_counts.items()})
+
+
+def stranding_by_scenario(trace: Trace,
+                          scenarios: Sequence[str] = OVERSUBSCRIPTION_SCENARIOS,
+                          **kwargs) -> Dict[str, StrandingResult]:
+    """Figures 4 and 5: stranding and bottlenecks for every scenario."""
+    return {scenario: measure_stranding(trace, scenario, **kwargs)
+            for scenario in scenarios}

@@ -1,0 +1,169 @@
+"""Cluster manager: turns VM requests into CoachVM placements (Section 3.1).
+
+For every incoming request the cluster manager asks the prediction model for
+per-window utilization, converts the request into guaranteed/oversubscribed
+portions under the active policy, and hands the resulting plan to the cluster
+scheduler.  Requests from customers without sufficient history are admitted
+without oversubscription (conservative default, G2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.coachvm import CoachVM
+from repro.core.policy import PolicyConfig
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.scheduler import ClusterScheduler, PlacementDecision
+from repro.core.windows import VMResourcePlan, plan_vm
+from repro.prediction.utilization_model import (
+    LongTermUtilizationModel,
+    NoOversubscriptionModel,
+    OracleUtilizationModel,
+    WindowUtilizationPrediction,
+)
+from repro.trace.hardware import ClusterConfig
+from repro.trace.vm import VMRecord
+
+
+@dataclass
+class AdmissionResult:
+    """Outcome of one VM request."""
+
+    vm_id: str
+    accepted: bool
+    coach_vm: Optional[CoachVM] = None
+    decision: Optional[PlacementDecision] = None
+
+    @property
+    def server_id(self) -> Optional[str]:
+        return self.decision.server_id if self.decision else None
+
+
+@dataclass
+class ClusterManagerStats:
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    oversubscribed: int = 0
+    not_oversubscribed: int = 0
+    savings_gb: float = 0.0
+    savings_cores: float = 0.0
+
+
+class ClusterManager:
+    """Logically centralised manager for one cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        policy: PolicyConfig,
+        prediction_model: Optional[object] = None,
+        conservative_admission: bool = True,
+    ):
+        self.cluster = cluster
+        self.policy = policy
+        if prediction_model is None:
+            prediction_model = NoOversubscriptionModel(policy.windows)
+        self.prediction_model = prediction_model
+        self.scheduler = ClusterScheduler(cluster, policy.windows,
+                                          conservative=conservative_admission)
+        self.stats = ClusterManagerStats()
+        self._vms: Dict[str, CoachVM] = {}
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+    def _predict(self, vm: VMRecord) -> WindowUtilizationPrediction:
+        prediction = self.prediction_model.predict(vm)
+        if prediction.windows.windows_per_day != self.policy.windows.windows_per_day:
+            raise ValueError(
+                "prediction model and policy use different time window configurations")
+        return prediction
+
+    def build_plan(self, vm: VMRecord) -> VMResourcePlan:
+        """Convert a VM request into a resource plan under the active policy."""
+        prediction = self._predict(vm)
+        allocation = {r: vm.allocated(r) for r in ALL_RESOURCES}
+        oversubscribe = self.policy.oversubscribe and prediction.oversubscribable
+        return plan_vm(vm.vm_id, allocation, prediction, oversubscribe,
+                       self.policy.memory_granularity_gb)
+
+    def request_vm(self, vm: VMRecord) -> AdmissionResult:
+        """Admit (or reject) one VM request."""
+        self.stats.requests += 1
+        plan = self.build_plan(vm)
+        decision = self.scheduler.place(plan)
+        if not decision.accepted:
+            self.stats.rejected += 1
+            return AdmissionResult(vm.vm_id, False, None, decision)
+
+        coach_vm = CoachVM.from_plan(vm, plan, self.policy.va_backing_fraction)
+        coach_vm.server_id = decision.server_id
+        self._vms[vm.vm_id] = coach_vm
+        self.stats.accepted += 1
+        if plan.oversubscribed:
+            self.stats.oversubscribed += 1
+        else:
+            self.stats.not_oversubscribed += 1
+        savings = plan.total_savings()
+        self.stats.savings_gb += savings[Resource.MEMORY]
+        self.stats.savings_cores += savings[Resource.CPU]
+        return AdmissionResult(vm.vm_id, True, coach_vm, decision)
+
+    def request_many(self, vms: Sequence[VMRecord]) -> List[AdmissionResult]:
+        return [self.request_vm(vm) for vm in vms]
+
+    def deallocate(self, vm_id: str) -> None:
+        """Release a VM's resources when it is deallocated or migrated away."""
+        self.scheduler.deallocate(vm_id)
+        self._vms.pop(vm_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def placed_vms(self) -> Dict[str, CoachVM]:
+        return dict(self._vms)
+
+    def vms_on_server(self, server_id: str) -> List[CoachVM]:
+        return [vm for vm in self._vms.values() if vm.server_id == server_id]
+
+    def capacity_summary(self) -> Dict[str, float]:
+        """Headline packing numbers for the cluster."""
+        scheduler = self.scheduler
+        return {
+            "vms_placed": float(self.stats.accepted),
+            "vms_rejected": float(self.stats.rejected),
+            "servers_in_use": float(scheduler.servers_in_use()),
+            "allocated_cores": scheduler.total_allocated_request(Resource.CPU),
+            "allocated_memory_gb": scheduler.total_allocated_request(Resource.MEMORY),
+            "capacity_cores": scheduler.total_capacity(Resource.CPU),
+            "capacity_memory_gb": scheduler.total_capacity(Resource.MEMORY),
+            "savings_memory_gb": self.stats.savings_gb,
+            "savings_cores": self.stats.savings_cores,
+        }
+
+
+def build_prediction_model(policy: PolicyConfig, history_vms: Sequence[VMRecord],
+                           oracle: bool = False,
+                           n_estimators: int = 15) -> object:
+    """Construct the prediction model appropriate for a policy.
+
+    * ``NONE`` policy -> :class:`NoOversubscriptionModel`.
+    * otherwise -> a :class:`LongTermUtilizationModel` trained on the history
+      (or an :class:`OracleUtilizationModel` when ``oracle`` is requested,
+      used by ablations and the ideal-allocation baseline).
+    """
+    if not policy.oversubscribe:
+        return NoOversubscriptionModel(policy.windows)
+    if oracle:
+        return OracleUtilizationModel(policy.windows, policy.percentile)
+    model = LongTermUtilizationModel(
+        windows=policy.windows,
+        percentile=policy.percentile,
+        n_estimators=n_estimators,
+        min_history_vms=policy.min_history_vms,
+    )
+    model.fit(list(history_vms))
+    return model

@@ -1,0 +1,254 @@
+"""Cluster scheduler: time-window-aware vector bin packing (Section 3.3).
+
+Traditional VM schedulers check a single demand vector against the free
+capacity of each server.  Coach extends the vector with one entry per time
+window (plus one for the static guaranteed portion of non-fungible
+resources), so VMs with complementary temporal patterns can share the same
+oversubscribed capacity.
+
+Two admission checks are provided:
+
+* ``fits_vector_check`` -- the paper's formulation: per-window summed demand
+  and the summed PA portions must each fit the server's capacity.
+* ``fits_backing_check`` -- the physically conservative variant: the PA pool
+  plus the multiplexed VA pool (Eq. 3 + Eq. 4) must fit.  This is the default
+  because it guarantees the server never commits more physical memory than it
+  has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.resources import ALL_RESOURCES, Resource, ResourceVector, is_fungible
+from repro.core.windows import VMResourcePlan
+from repro.trace.hardware import ClusterConfig, ServerConfig
+from repro.trace.timeseries import TimeWindowConfig
+
+
+@dataclass
+class ServerAccount:
+    """Scheduling-time bookkeeping of the plans committed to one server."""
+
+    server_id: str
+    config: ServerConfig
+    windows: TimeWindowConfig
+    #: Per-resource committed demand per window, shape (n_windows,).
+    window_demand: Dict[Resource, np.ndarray] = field(default_factory=dict)
+    #: Committed guaranteed (PA) memory in GB.
+    pa_memory_gb: float = 0.0
+    #: Per-window committed oversubscribed (VA) memory demand in GB.
+    va_window_demand: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Plans currently placed on this server, keyed by VM id.
+    plans: Dict[str, VMResourcePlan] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.windows.windows_per_day
+        if not self.window_demand:
+            self.window_demand = {r: np.zeros(n) for r in ALL_RESOURCES}
+        if self.va_window_demand.size == 0:
+            self.va_window_demand = np.zeros(n)
+
+    # ------------------------------------------------------------------ #
+    # Capacity accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> ResourceVector:
+        return self.config.capacity_vector()
+
+    @property
+    def va_backing_gb(self) -> float:
+        """Physical memory reserved for the oversubscribed pool (Eq. 4)."""
+        return float(self.va_window_demand.max()) if self.va_window_demand.size else 0.0
+
+    @property
+    def committed_memory_backing_gb(self) -> float:
+        return self.pa_memory_gb + self.va_backing_gb
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.plans)
+
+    def allocated_request(self, resource: Resource) -> float:
+        """Sum of the full requested allocations (what customers bought)."""
+        return float(sum(p.plans[resource].requested for p in self.plans.values()))
+
+    # ------------------------------------------------------------------ #
+    # Admission checks
+    # ------------------------------------------------------------------ #
+    def fits_vector_check(self, plan: VMResourcePlan) -> bool:
+        """The paper's windows-plus-one vector check."""
+        capacity = self.capacity
+        for resource in ALL_RESOURCES:
+            demand = plan.plans[resource].window_demand
+            if np.any(self.window_demand[resource] + demand > capacity[resource] + 1e-6):
+                return False
+        new_pa = self.pa_memory_gb + plan.plans[Resource.MEMORY].guaranteed
+        return new_pa <= capacity[Resource.MEMORY] + 1e-6
+
+    def fits_backing_check(self, plan: VMResourcePlan) -> bool:
+        """Conservative check: physical PA + multiplexed VA backing must fit."""
+        capacity = self.capacity
+        for resource in ALL_RESOURCES:
+            if resource is Resource.MEMORY:
+                continue
+            demand = plan.plans[resource].window_demand
+            if np.any(self.window_demand[resource] + demand > capacity[resource] + 1e-6):
+                return False
+        memory_plan = plan.plans[Resource.MEMORY]
+        new_pa = self.pa_memory_gb + memory_plan.guaranteed
+        new_va = float((self.va_window_demand + memory_plan.window_oversubscribed).max())
+        return new_pa + new_va <= capacity[Resource.MEMORY] + 1e-6
+
+    def can_fit(self, plan: VMResourcePlan, conservative: bool = True) -> bool:
+        if plan.windows.windows_per_day != self.windows.windows_per_day:
+            raise ValueError("plan and server use different time window configurations")
+        if conservative:
+            return self.fits_backing_check(plan) and self.fits_vector_check(plan)
+        return self.fits_vector_check(plan)
+
+    # ------------------------------------------------------------------ #
+    # Commit / release
+    # ------------------------------------------------------------------ #
+    def commit(self, plan: VMResourcePlan) -> None:
+        if plan.vm_id in self.plans:
+            raise ValueError(f"VM {plan.vm_id} already placed on {self.server_id}")
+        for resource in ALL_RESOURCES:
+            self.window_demand[resource] = (self.window_demand[resource]
+                                            + plan.plans[resource].window_demand)
+        memory_plan = plan.plans[Resource.MEMORY]
+        self.pa_memory_gb += memory_plan.guaranteed
+        self.va_window_demand = self.va_window_demand + memory_plan.window_oversubscribed
+        self.plans[plan.vm_id] = plan
+
+    def release(self, vm_id: str) -> VMResourcePlan:
+        try:
+            plan = self.plans.pop(vm_id)
+        except KeyError as exc:
+            raise KeyError(f"VM {vm_id} is not placed on {self.server_id}") from exc
+        for resource in ALL_RESOURCES:
+            self.window_demand[resource] = np.maximum(
+                0.0, self.window_demand[resource] - plan.plans[resource].window_demand)
+        memory_plan = plan.plans[Resource.MEMORY]
+        self.pa_memory_gb = max(0.0, self.pa_memory_gb - memory_plan.guaranteed)
+        self.va_window_demand = np.maximum(
+            0.0, self.va_window_demand - memory_plan.window_oversubscribed)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Packing diagnostics
+    # ------------------------------------------------------------------ #
+    def packing_score(self, plan: Optional[VMResourcePlan] = None) -> float:
+        """Fraction of capacity committed (averaged over resources and windows).
+
+        Higher means fuller.  When *plan* is given, the score is computed as
+        if the plan were committed -- the best-fit scheduler places each VM on
+        the fittable server that would become fullest, which consolidates VMs
+        onto fewer servers.
+        """
+        capacity = self.capacity
+        scores = []
+        for resource in ALL_RESOURCES:
+            demand = self.window_demand[resource].copy()
+            if plan is not None:
+                demand = demand + plan.plans[resource].window_demand
+            if capacity[resource] > 0:
+                scores.append(float(demand.mean()) / capacity[resource])
+        return float(np.mean(scores)) if scores else 0.0
+
+    def is_empty(self) -> bool:
+        return not self.plans
+
+
+@dataclass
+class PlacementDecision:
+    """Result of asking the scheduler to place one VM."""
+
+    vm_id: str
+    accepted: bool
+    server_id: Optional[str] = None
+    reason: str = ""
+
+
+class ClusterScheduler:
+    """Best-fit scheduler over the servers of one cluster."""
+
+    def __init__(self, cluster: ClusterConfig, windows: TimeWindowConfig,
+                 conservative: bool = True):
+        self.cluster = cluster
+        self.windows = windows
+        self.conservative = conservative
+        self.servers: Dict[str, ServerAccount] = {}
+        for index, server_config in enumerate(cluster.server_configs()):
+            server_id = f"{cluster.cluster_id}-s{index:03d}"
+            self.servers[server_id] = ServerAccount(server_id, server_config, windows)
+        self._placements: Dict[str, str] = {}
+        self.decisions: List[PlacementDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+    def place(self, plan: VMResourcePlan) -> PlacementDecision:
+        """Place a VM plan on the best-fitting server (fullest that still fits)."""
+        best_server: Optional[ServerAccount] = None
+        best_score = -1.0
+        for server in self.servers.values():
+            if not server.can_fit(plan, self.conservative):
+                continue
+            score = server.packing_score(plan)
+            if score > best_score:
+                best_score = score
+                best_server = server
+
+        if best_server is None:
+            decision = PlacementDecision(plan.vm_id, False, None, "no server fits")
+        else:
+            best_server.commit(plan)
+            self._placements[plan.vm_id] = best_server.server_id
+            decision = PlacementDecision(plan.vm_id, True, best_server.server_id)
+        self.decisions.append(decision)
+        return decision
+
+    def deallocate(self, vm_id: str) -> None:
+        server_id = self._placements.pop(vm_id, None)
+        if server_id is None:
+            return
+        self.servers[server_id].release(vm_id)
+
+    def server_of(self, vm_id: str) -> Optional[str]:
+        return self._placements.get(vm_id)
+
+    # ------------------------------------------------------------------ #
+    # Cluster-level statistics
+    # ------------------------------------------------------------------ #
+    def accepted_count(self) -> int:
+        return sum(1 for d in self.decisions if d.accepted)
+
+    def rejected_count(self) -> int:
+        return sum(1 for d in self.decisions if not d.accepted)
+
+    def servers_in_use(self) -> int:
+        return sum(1 for s in self.servers.values() if not s.is_empty())
+
+    def total_allocated_request(self, resource: Resource) -> float:
+        return float(sum(s.allocated_request(resource) for s in self.servers.values()))
+
+    def total_capacity(self, resource: Resource) -> float:
+        return float(sum(s.capacity[resource] for s in self.servers.values()))
+
+    def utilization_summary(self) -> Dict[str, float]:
+        return {
+            "servers_in_use": float(self.servers_in_use()),
+            "servers_total": float(len(self.servers)),
+            "vms_placed": float(len(self._placements)),
+            "rejections": float(self.rejected_count()),
+        }
+
+
+def schedule_all(scheduler: ClusterScheduler,
+                 plans: Sequence[VMResourcePlan]) -> List[PlacementDecision]:
+    """Place a batch of plans in order, returning every decision."""
+    return [scheduler.place(plan) for plan in plans]

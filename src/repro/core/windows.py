@@ -1,0 +1,221 @@
+"""Time-window demand formulation (Section 3.3, Equations 1-4).
+
+Coach divides the day into equal time windows and plans each VM's resources
+from its predicted per-window utilization:
+
+* For the non-fungible memory *space*, the guaranteed (PA-backed) portion is
+  sized to the maximum PX-percentile across all windows (Eq. 1) so it never
+  has to move at runtime; the per-window oversubscribed (VA-backed) demand is
+  whatever the predicted maximum exceeds the PA portion by (Eq. 2).
+* At the server level, the guaranteed pool is the sum of the VMs' PA demands
+  (Eq. 3) and the oversubscribed pool is the *multiplexed* maximum over
+  windows of the summed VA demands (Eq. 4) -- this is where complementary
+  temporal patterns turn into savings.
+* Fungible resources (CPU, network, SSD bandwidth) are planned directly from
+  the per-window predicted demand, since the hypervisor can reassign them on
+  the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.resources import ALL_RESOURCES, Resource, is_fungible
+from repro.prediction.buckets import round_memory_up
+from repro.prediction.utilization_model import WindowUtilizationPrediction
+from repro.trace.timeseries import TimeWindowConfig
+
+
+@dataclass
+class ResourcePlan:
+    """Planned demand for one resource of one VM, in absolute units."""
+
+    resource: Resource
+    #: The full allocation the customer requested.
+    requested: float
+    #: Guaranteed portion, static across windows (Eq. 1 for memory).
+    guaranteed: float
+    #: Per-window total demand (predicted maximum utilization x allocation).
+    window_demand: np.ndarray
+    #: Per-window oversubscribed demand (Eq. 2); zero for fully guaranteed plans.
+    window_oversubscribed: np.ndarray
+
+    @property
+    def peak_demand(self) -> float:
+        return float(self.window_demand.max())
+
+    @property
+    def oversubscription_savings(self) -> float:
+        """Resources not guaranteed compared to the requested allocation."""
+        return max(0.0, self.requested - self.guaranteed)
+
+    def validate(self) -> None:
+        if self.guaranteed < -1e-9 or self.requested < -1e-9:
+            raise ValueError("negative resource amounts")
+        if self.guaranteed > self.requested + 1e-6:
+            raise ValueError("guaranteed portion exceeds the requested allocation")
+        if np.any(self.window_demand < -1e-9):
+            raise ValueError("negative window demand")
+        if np.any(self.window_oversubscribed < -1e-9):
+            raise ValueError("negative oversubscribed demand")
+
+
+@dataclass
+class VMResourcePlan:
+    """Per-resource plans for one VM under a given policy."""
+
+    vm_id: str
+    windows: TimeWindowConfig
+    plans: Dict[Resource, ResourcePlan] = field(default_factory=dict)
+    oversubscribed: bool = True
+
+    def plan(self, resource: Resource) -> ResourcePlan:
+        return self.plans[resource]
+
+    @property
+    def guaranteed_memory_gb(self) -> float:
+        return self.plans[Resource.MEMORY].guaranteed
+
+    @property
+    def oversubscribed_memory_gb(self) -> float:
+        plan = self.plans[Resource.MEMORY]
+        return max(0.0, plan.requested - plan.guaranteed)
+
+    def total_savings(self) -> Dict[Resource, float]:
+        return {r: plan.oversubscription_savings for r, plan in self.plans.items()}
+
+    def validate(self) -> None:
+        for plan in self.plans.values():
+            plan.validate()
+
+
+# --------------------------------------------------------------------------- #
+# Per-VM demand computation
+# --------------------------------------------------------------------------- #
+def plan_resource(
+    resource: Resource,
+    allocated: float,
+    prediction: WindowUtilizationPrediction,
+    oversubscribe: bool = True,
+    memory_granularity_gb: float = 1.0,
+) -> ResourcePlan:
+    """Build the per-window plan for one resource of one VM.
+
+    ``allocated`` is the requested amount in absolute units.  When
+    ``oversubscribe`` is false (no history, opt-out, or the None policy), the
+    guaranteed portion is the full allocation and every window demands it.
+    """
+    n_windows = prediction.windows.windows_per_day
+    if not oversubscribe:
+        full = np.full(n_windows, float(allocated))
+        return ResourcePlan(resource, float(allocated), float(allocated), full,
+                            np.zeros(n_windows))
+
+    maximum = np.clip(prediction.maximum[resource], 0.0, 1.0) * allocated
+    percentile = np.clip(prediction.percentile[resource], 0.0, 1.0) * allocated
+
+    if is_fungible(resource):
+        # Fungible resources are planned directly from per-window demand; the
+        # "guaranteed" share is the demand the VM needs essentially always
+        # (its smallest per-window percentile).
+        guaranteed = float(percentile.min())
+        window_demand = np.minimum(maximum, allocated)
+        oversub = np.maximum(0.0, window_demand - guaranteed)
+        return ResourcePlan(resource, float(allocated), guaranteed, window_demand, oversub)
+
+    # Non-fungible memory space: Eq. 1 and Eq. 2.
+    pa_demand = float(percentile.max())
+    if resource is Resource.MEMORY:
+        pa_demand = round_memory_up(pa_demand, memory_granularity_gb)
+    pa_demand = min(pa_demand, float(allocated))
+    window_demand = np.minimum(maximum, allocated)
+    va_demand = np.maximum(0.0, window_demand - pa_demand)
+    return ResourcePlan(resource, float(allocated), pa_demand, window_demand, va_demand)
+
+
+def plan_vm(
+    vm_id: str,
+    allocation: Dict[Resource, float],
+    prediction: WindowUtilizationPrediction,
+    oversubscribe: bool = True,
+    memory_granularity_gb: float = 1.0,
+) -> VMResourcePlan:
+    """Build the full per-resource plan for one VM."""
+    effective = oversubscribe and prediction.oversubscribable
+    plans = {
+        resource: plan_resource(resource, allocation[resource], prediction,
+                                effective, memory_granularity_gb)
+        for resource in ALL_RESOURCES
+    }
+    plan = VMResourcePlan(vm_id=vm_id, windows=prediction.windows, plans=plans,
+                          oversubscribed=effective)
+    plan.validate()
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# Server-level aggregation (Eq. 3 and Eq. 4)
+# --------------------------------------------------------------------------- #
+def guaranteed_memory(plans: Iterable[VMResourcePlan]) -> float:
+    """Eq. 3: the server's guaranteed (PA-backed) memory is the sum of PA demands."""
+    return float(sum(p.plans[Resource.MEMORY].guaranteed for p in plans))
+
+
+def multiplexed_oversubscribed_memory(plans: Sequence[VMResourcePlan]) -> float:
+    """Eq. 4: the oversubscribed pool is the max over windows of summed VA demands.
+
+    This multiplexes complementary temporal patterns: VMs whose VA demand
+    peaks in different windows share the same backing memory.
+    """
+    plans = list(plans)
+    if not plans:
+        return 0.0
+    n_windows = plans[0].windows.windows_per_day
+    total = np.zeros(n_windows)
+    for plan in plans:
+        oversub = plan.plans[Resource.MEMORY].window_oversubscribed
+        if oversub.shape[0] != n_windows:
+            raise ValueError("all plans must use the same time window configuration")
+        total += oversub
+    return float(total.max())
+
+
+def unmultiplexed_oversubscribed_memory(plans: Iterable[VMResourcePlan]) -> float:
+    """The naive alternative to Eq. 4: allocate the sum of each VM's peak VA demand.
+
+    Used in ablations to quantify how much the multiplexing step saves.
+    """
+    return float(sum(p.plans[Resource.MEMORY].window_oversubscribed.max()
+                     for p in plans))
+
+
+def server_memory_backing(plans: Sequence[VMResourcePlan]) -> Dict[str, float]:
+    """Total PA and VA backing a server must reserve for a set of plans."""
+    return {
+        "pa_backing_gb": guaranteed_memory(plans),
+        "va_backing_gb": multiplexed_oversubscribed_memory(plans),
+    }
+
+
+def window_demand_matrix(plans: Sequence[VMResourcePlan], resource: Resource) -> np.ndarray:
+    """Stack of per-window demands, shape ``(n_plans, n_windows)``."""
+    plans = list(plans)
+    if not plans:
+        return np.zeros((0, 0))
+    return np.vstack([p.plans[resource].window_demand for p in plans])
+
+
+def scheduling_vector(plan: VMResourcePlan, resource: Resource) -> np.ndarray:
+    """The vector the scheduler checks for one resource of one plan.
+
+    Per Section 3.3 the scheduler considers the number of windows plus one
+    extra dimension for the static guaranteed portion of non-fungible
+    resources.  For fungible resources the extra dimension is zero (their
+    guaranteed share is already inside the window demands).
+    """
+    resource_plan = plan.plans[resource]
+    extra = 0.0 if is_fungible(resource) else resource_plan.guaranteed
+    return np.concatenate([resource_plan.window_demand, [extra]])

@@ -1,0 +1,20 @@
+"""Experiment harnesses regenerating every evaluated figure and table."""
+
+from repro.experiments import figures, overheads
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    default_experiment_trace,
+    get_experiment,
+    list_experiments,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "default_experiment_trace",
+    "figures",
+    "get_experiment",
+    "list_experiments",
+    "overheads",
+]

@@ -1,0 +1,95 @@
+"""Platform overhead measurements (Section 4.5).
+
+The paper reports the cost of running Coach: offline training time and model
+size for the long-term predictor, the extra scheduling latency from the
+additional bin-packing dimensions, the footprint of the local contention
+predictors, and the bandwidth of the trim/extend mitigation mechanisms.
+These harnesses measure the equivalents on this reproduction's substrate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.cluster_manager import ClusterManager
+from repro.core.mitigation import EXTEND_BANDWIDTH_GBPS, TRIM_BANDWIDTH_GBPS
+from repro.core.policy import COACH_POLICY, NO_OVERSUBSCRIPTION_POLICY
+from repro.prediction.lstm import LSTMConfig, LSTMPredictor
+from repro.prediction.utilization_model import LongTermUtilizationModel, OracleUtilizationModel
+from repro.trace.trace import Trace
+
+
+def training_overheads(trace: Trace, n_estimators: int = 10) -> Dict[str, float]:
+    """Offline training cost of the long-term utilization model."""
+    history_vms = trace.long_running().vms
+    model = LongTermUtilizationModel(n_estimators=n_estimators)
+    model.fit(history_vms)
+    report = model.report
+    return {
+        "n_training_vms": float(report.n_training_vms),
+        "n_training_rows": float(report.n_training_rows),
+        "training_seconds": report.training_seconds,
+        "training_data_mb": report.training_data_bytes / 1e6,
+        "model_size_mb": report.model_size_bytes / 1e6,
+    }
+
+
+def scheduling_overheads(trace: Trace, cluster_id: str = "C1",
+                         max_vms: int = 200) -> Dict[str, float]:
+    """Per-VM scheduling latency with and without the time-window dimensions."""
+    vms = [vm for vm in trace.vms if vm.cluster_id == cluster_id][:max_vms]
+    if not vms:
+        raise ValueError(f"no VMs target cluster {cluster_id}")
+    oracle = OracleUtilizationModel(COACH_POLICY.windows, COACH_POLICY.percentile)
+    timings: Dict[str, float] = {}
+    for label, policy in (("coach", COACH_POLICY), ("none", NO_OVERSUBSCRIPTION_POLICY)):
+        model = oracle if policy.oversubscribe else None
+        manager = ClusterManager(trace.fleet.get(cluster_id), policy, model)
+        start = time.perf_counter()
+        for vm in vms:
+            manager.request_vm(vm)
+        elapsed = time.perf_counter() - start
+        timings[f"{label}_ms_per_vm"] = 1000.0 * elapsed / len(vms)
+    timings["added_ms_per_vm"] = timings["coach_ms_per_vm"] - timings["none_ms_per_vm"]
+    return timings
+
+
+def local_predictor_overheads(samples: int = 500, seed: int = 0) -> Dict[str, float]:
+    """Memory footprint and per-cycle latency of the local LSTM predictor."""
+    rng = np.random.default_rng(seed)
+    model = LSTMPredictor(LSTMConfig(epochs=1))
+    series = np.clip(0.4 + 0.2 * np.sin(np.arange(samples) / 15)
+                     + rng.normal(0, 0.02, samples), 0, 1)
+    from repro.prediction.lstm import build_sequences
+
+    sequences, targets = build_sequences(series, model.config.sequence_length)
+    start = time.perf_counter()
+    model.fit(sequences[:64], targets[:64], epochs=1)
+    model.predict(sequences[:1])
+    cycle_ms = 1000.0 * (time.perf_counter() - start)
+    return {
+        "model_memory_kb": model.memory_bytes() / 1024.0,
+        "train_infer_cycle_ms": cycle_ms,
+        "parameter_count": float(model.parameter_count()),
+    }
+
+
+def mitigation_bandwidths() -> Dict[str, float]:
+    """The trim/extend bandwidths used by the mitigation engine (GB/s)."""
+    return {
+        "trim_bandwidth_gbps": TRIM_BANDWIDTH_GBPS,
+        "extend_bandwidth_gbps": EXTEND_BANDWIDTH_GBPS,
+    }
+
+
+def overhead_report(trace: Trace, n_estimators: int = 8) -> Dict[str, Dict[str, float]]:
+    """All Section 4.5 overheads in one report."""
+    return {
+        "training": training_overheads(trace, n_estimators),
+        "scheduling": scheduling_overheads(trace),
+        "local_predictor": local_predictor_overheads(),
+        "mitigation": mitigation_bandwidths(),
+    }

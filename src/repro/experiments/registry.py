@@ -1,0 +1,86 @@
+"""Registry mapping every reproduced figure/table to its harness function."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import figures, overheads
+from repro.trace.generator import generate_trace
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment (a paper figure, table, or section)."""
+
+    experiment_id: str
+    title: str
+    #: Callable taking a trace (or None for trace-free experiments).
+    runner: Callable[..., object]
+    needs_trace: bool = True
+
+    def run(self, trace: Optional[Trace] = None, **kwargs: object) -> object:
+        if self.needs_trace:
+            if trace is None:
+                trace = default_experiment_trace()
+            return self.runner(trace, **kwargs)
+        return self.runner(**kwargs)
+
+
+def default_experiment_trace(n_vms: int = 1200, seed: int = 2024) -> Trace:
+    """The trace used by the experiment harnesses when none is supplied."""
+    return generate_trace(n_vms=n_vms, n_days=14, seed=seed, n_subscriptions=80,
+                          servers_per_cluster=3)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "figure02": Experiment("figure02", "Resource hours by VM duration",
+                           figures.figure02_duration),
+    "figure03": Experiment("figure03", "Resource hours by VM size",
+                           figures.figure03_size),
+    "figure04": Experiment("figure04", "Stranding by resource and oversubscription",
+                           figures.figure04_stranding),
+    "figure05": Experiment("figure05", "Bottleneck resource per cluster",
+                           figures.figure05_bottlenecks),
+    "figure06": Experiment("figure06", "CPU/memory utilization correlation",
+                           figures.figure06_utilization),
+    "figure07": Experiment("figure07", "Week-long VM utilization profile",
+                           figures.figure07_vm_profile),
+    "figure08": Experiment("figure08", "Peaks and valleys per time window",
+                           figures.figure08_peaks),
+    "figure09": Experiment("figure09", "Day-over-day peak consistency",
+                           figures.figure09_consistency),
+    "figure10": Experiment("figure10", "Weekly savings for one cluster",
+                           figures.figure10_weekly_savings),
+    "figure11": Experiment("figure11", "Savings distribution across clusters",
+                           figures.figure11_savings_distribution),
+    "figure12": Experiment("figure12", "History-based predictability",
+                           figures.figure12_predictability),
+    "figure15": Experiment("figure15", "PA/VA trade-off heat map",
+                           figures.figure15_pa_va_tradeoff, needs_trace=False),
+    "figure17": Experiment("figure17", "Oversubscribed accesses vs percentile",
+                           figures.figure17_oversub_accesses),
+    "figure18": Experiment("figure18", "Workload slowdown per VM configuration",
+                           figures.figure18_workloads, needs_trace=False),
+    "figure19": Experiment("figure19", "Prediction over/under-allocation",
+                           figures.figure19_prediction_accuracy),
+    "figure20": Experiment("figure20", "Packing and violations per policy",
+                           figures.figure20_packing),
+    "figure21": Experiment("figure21", "Mitigation policy timelines",
+                           figures.figure21_mitigation, needs_trace=False),
+    "section4.5": Experiment("section4.5", "Platform overheads",
+                             overheads.overhead_report),
+}
+
+
+def list_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {list_experiments()}") from exc

@@ -1,0 +1,61 @@
+"""Quantization of utilization predictions into 5% buckets.
+
+Coach rounds predicted utilizations *up* to 5% buckets (e.g. 17.3% -> 20%)
+and rounds memory allocations up to the 1 GB management granularity
+(Section 3.3).  Rounding up is deliberately conservative: it can only reduce
+the chance of under-allocating the guaranteed portion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+#: Utilization bucket width used throughout the paper.
+BUCKET_WIDTH = 0.05
+
+#: Memory management granularity in GB (1 GB huge pages).
+MEMORY_GRANULARITY_GB = 1.0
+
+
+def bucketize(value: float, width: float = BUCKET_WIDTH) -> float:
+    """Round a utilization fraction up to the next bucket boundary.
+
+    Values are clipped to ``[0, 1]`` after rounding; tiny floating point
+    overshoot (e.g. 0.2000000001) does not push the value into the next
+    bucket.
+    """
+    if width <= 0:
+        raise ValueError("bucket width must be positive")
+    value = float(value)
+    if value <= 0.0:
+        return 0.0
+    buckets = value / width
+    rounded = math.ceil(buckets - 1e-9)
+    return float(min(1.0, rounded * width))
+
+
+def bucketize_array(values: Iterable[float] | np.ndarray,
+                    width: float = BUCKET_WIDTH) -> np.ndarray:
+    """Vectorised :func:`bucketize`."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                     dtype=np.float64)
+    buckets = np.ceil(arr / width - 1e-9)
+    return np.clip(np.maximum(buckets, 0.0) * width, 0.0, 1.0)
+
+
+def round_memory_up(gb: float, granularity: float = MEMORY_GRANULARITY_GB) -> float:
+    """Round a memory amount up to the management granularity (1 GB)."""
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    if gb <= 0:
+        return 0.0
+    return float(math.ceil(gb / granularity - 1e-9) * granularity)
+
+
+def bucket_centers(width: float = BUCKET_WIDTH) -> List[float]:
+    """All bucket boundaries in ``(0, 1]``, useful for plotting/validation."""
+    count = int(round(1.0 / width))
+    return [round((i + 1) * width, 10) for i in range(count)]

@@ -1,0 +1,148 @@
+"""Two-level local contention prediction (EWMA + LSTM).
+
+The oversubscription agent on every server predicts near-future utilization
+so that mitigations can be triggered *before* contention materialises
+(Section 3.4): an EWMA forecasts the next 20-second monitoring interval and a
+small LSTM forecasts the next five minutes from the maximum and average
+utilization of the five preceding 5-minute windows.  The LSTM is trained
+online and only consulted after a warm-up period (the paper trains it for
+24 hours before use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.prediction.ewma import EWMAPredictor
+from repro.prediction.lstm import LSTMConfig, LSTMPredictor, build_sequences
+
+
+@dataclass
+class ContentionForecast:
+    """Joint output of the two predictors for one prediction cycle."""
+
+    #: Utilization forecast for the next monitoring interval (~20 s).
+    short_term: float
+    #: Utilization forecast for the next five minutes (``None`` during warm-up).
+    long_term: Optional[float]
+
+    def exceeds(self, threshold: float) -> bool:
+        """Whether either horizon predicts utilization above *threshold*."""
+        if self.short_term > threshold:
+            return True
+        return self.long_term is not None and self.long_term > threshold
+
+
+class TwoLevelContentionPredictor:
+    """Combines the EWMA and LSTM predictors as the server agent does.
+
+    Parameters
+    ----------
+    samples_per_window:
+        Number of monitoring samples per 5-minute window.  With the paper's
+        20-second monitoring interval this is 15.
+    warmup_windows:
+        Number of complete 5-minute windows to observe before trusting the
+        LSTM (the paper warms up for 24 hours = 288 windows; tests use less).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        samples_per_window: int = 15,
+        warmup_windows: int = 288,
+        lstm_config: Optional[LSTMConfig] = None,
+        online_epochs: int = 2,
+    ):
+        if samples_per_window <= 0:
+            raise ValueError("samples_per_window must be positive")
+        self.ewma = EWMAPredictor(alpha=alpha)
+        self.lstm = LSTMPredictor(lstm_config or LSTMConfig(epochs=online_epochs))
+        self.samples_per_window = samples_per_window
+        self.warmup_windows = warmup_windows
+        self.online_epochs = online_epochs
+        self._current_window: List[float] = []
+        self._window_max: List[float] = []
+        self._window_mean: List[float] = []
+        self._lstm_trained_windows = 0
+
+    # ------------------------------------------------------------------ #
+    # Online updates
+    # ------------------------------------------------------------------ #
+    def observe(self, utilization: float) -> None:
+        """Feed one monitoring sample (every ~20 seconds)."""
+        value = float(np.clip(utilization, 0.0, 1.0))
+        self.ewma.update(value)
+        self._current_window.append(value)
+        if len(self._current_window) >= self.samples_per_window:
+            self._close_window()
+
+    def _close_window(self) -> None:
+        window = np.asarray(self._current_window)
+        self._window_max.append(float(window.max()))
+        self._window_mean.append(float(window.mean()))
+        self._current_window = []
+        self._maybe_train_lstm()
+
+    def _maybe_train_lstm(self) -> None:
+        seq_len = self.lstm.config.sequence_length
+        if len(self._window_max) <= seq_len:
+            return
+        maxima = np.asarray(self._window_max)
+        means = np.asarray(self._window_mean)
+        features = np.stack([maxima, means], axis=1)
+        # Train on the most recent examples only: online fine-tuning.
+        n_examples = features.shape[0] - seq_len
+        start = max(0, n_examples - 32)
+        sequences = np.stack([features[i:i + seq_len] for i in range(start, n_examples)])
+        targets = maxima[start + seq_len:]
+        self.lstm.fit(sequences, targets, epochs=self.online_epochs)
+        self._lstm_trained_windows = len(self._window_max)
+
+    # ------------------------------------------------------------------ #
+    # Forecasting
+    # ------------------------------------------------------------------ #
+    @property
+    def lstm_ready(self) -> bool:
+        return (self._lstm_trained_windows >= self.warmup_windows
+                and len(self._window_max) >= self.lstm.config.sequence_length)
+
+    def forecast(self) -> ContentionForecast:
+        """Forecast for the next monitoring interval and the next five minutes."""
+        short_term = self.ewma.level if self.ewma.level is not None else 0.0
+        long_term: Optional[float] = None
+        if self.lstm_ready:
+            seq_len = self.lstm.config.sequence_length
+            maxima = np.asarray(self._window_max[-seq_len:])
+            means = np.asarray(self._window_mean[-seq_len:])
+            sequence = np.stack([maxima, means], axis=1)
+            long_term = float(self.lstm.predict(sequence)[0])
+        return ContentionForecast(short_term=float(short_term), long_term=long_term)
+
+    # ------------------------------------------------------------------ #
+    # Offline evaluation helpers (Section 4.4)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def evaluate_ewma_error(series: np.ndarray, alpha: float = 0.5) -> float:
+        """Mean absolute one-step error of the EWMA on a utilization series."""
+        from repro.prediction.ewma import one_step_errors
+
+        errors = one_step_errors(series, alpha)
+        return float(errors.mean()) if errors.size else 0.0
+
+    @staticmethod
+    def evaluate_lstm_error(series: np.ndarray, config: Optional[LSTMConfig] = None,
+                            train_fraction: float = 0.7) -> float:
+        """Mean absolute hold-out error of the LSTM on a utilization series."""
+        cfg = config or LSTMConfig(epochs=40)
+        sequences, targets = build_sequences(series, cfg.sequence_length)
+        if sequences.shape[0] < 10:
+            return 0.0
+        split = max(1, int(train_fraction * sequences.shape[0]))
+        model = LSTMPredictor(cfg)
+        model.fit(sequences[:split], targets[:split])
+        predictions = model.predict(sequences[split:])
+        return float(np.mean(np.abs(predictions - targets[split:])))

@@ -1,0 +1,37 @@
+"""Cluster and server simulation substrate."""
+
+from repro.simulator.engine import (
+    ClusterRunResult,
+    ClusterSimulation,
+    SimulationConfig,
+    evaluate_policies,
+    simulate_policy,
+)
+from repro.simulator.memory import (
+    PAGING_BANDWIDTH_GBPS,
+    DemandOutcome,
+    ServerMemoryModel,
+)
+from repro.simulator.metrics import (
+    MitigationTimeline,
+    PolicyEvaluation,
+    PredictionAccuracy,
+    ViolationStats,
+    compare_policies,
+)
+
+__all__ = [
+    "ClusterRunResult",
+    "ClusterSimulation",
+    "DemandOutcome",
+    "MitigationTimeline",
+    "PAGING_BANDWIDTH_GBPS",
+    "PolicyEvaluation",
+    "PredictionAccuracy",
+    "ServerMemoryModel",
+    "SimulationConfig",
+    "ViolationStats",
+    "compare_policies",
+    "evaluate_policies",
+    "simulate_policy",
+]

@@ -1,0 +1,245 @@
+"""Cluster-scale replay simulation (Section 4.1, "Simulator").
+
+The paper evaluates Coach's scheduling policy by running the production VM
+allocator on production traces and replaying the 5-minute utilization data to
+estimate contention.  This engine does the same against the synthetic trace:
+
+1. split the trace into a history week (training) and an evaluation week;
+2. train the policy's prediction model on the history;
+3. replay the evaluation VMs' arrivals and departures through a per-cluster
+   :class:`ClusterManager` (which plans and places CoachVMs);
+4. replay the actual utilization of the placed VMs against each server's
+   committed physical resources to count CPU and memory violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cluster_manager import ClusterManager, build_prediction_model
+from repro.core.policy import PolicyConfig, STANDARD_POLICIES
+from repro.core.resources import Resource
+from repro.simulator.metrics import PolicyEvaluation, ViolationStats, compare_policies
+from repro.trace.timeseries import SLOTS_PER_DAY
+from repro.trace.trace import Trace
+from repro.trace.vm import VMRecord
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of the cluster-scale replay."""
+
+    #: Slot at which the evaluation period starts (history before it).
+    history_end_slot: int = 7 * SLOTS_PER_DAY
+    #: Slot from which VM arrivals are replayed through the scheduler.  The
+    #: default (0) places every VM in the trace, which models the platform
+    #: steady state: long-running VMs admitted earlier are still occupying
+    #: capacity when new arrivals show up.
+    placement_start_slot: int = 0
+    #: CPU contention threshold: demand above this fraction of server capacity
+    #: counts as contention (Section 4.3 uses 50%).
+    cpu_contention_fraction: float = 0.5
+    #: Only clusters listed here are simulated (``None`` = all).
+    clusters: Optional[Sequence[str]] = None
+    #: Use the conservative (physical backing) admission check.
+    conservative_admission: bool = True
+    #: Forest size for the learned prediction model.
+    n_estimators: int = 10
+    #: Use the oracle predictor instead of the learned one (ablation).
+    oracle_predictions: bool = False
+
+
+@dataclass
+class ClusterRunResult:
+    cluster_id: str
+    manager: ClusterManager
+    placed_vms: Dict[str, VMRecord] = field(default_factory=dict)
+    violations: ViolationStats = field(default_factory=ViolationStats)
+
+
+class ClusterSimulation:
+    """Replays one cluster's arrivals through a ClusterManager."""
+
+    def __init__(self, trace: Trace, cluster_id: str, policy: PolicyConfig,
+                 prediction_model: object, config: SimulationConfig):
+        self.trace = trace
+        self.cluster_id = cluster_id
+        self.policy = policy
+        self.config = config
+        self.manager = ClusterManager(
+            trace.fleet.get(cluster_id), policy, prediction_model,
+            conservative_admission=config.conservative_admission)
+        self.placed: Dict[str, VMRecord] = {}
+        self.requested = 0
+
+    def run(self) -> ClusterRunResult:
+        eval_vms = [vm for vm in self.trace.vms
+                    if vm.cluster_id == self.cluster_id
+                    and vm.start_slot >= self.config.placement_start_slot]
+        eval_vms.sort(key=lambda vm: (vm.start_slot, vm.vm_id))
+
+        # Event-driven replay: before each arrival, release VMs that ended.
+        pending_departures: List[tuple[int, str]] = []
+        for vm in eval_vms:
+            self.requested += 1
+            still_pending = []
+            for end_slot, vm_id in pending_departures:
+                if end_slot <= vm.start_slot:
+                    self.manager.deallocate(vm_id)
+                else:
+                    still_pending.append((end_slot, vm_id))
+            pending_departures = still_pending
+
+            result = self.manager.request_vm(vm)
+            if result.accepted:
+                self.placed[vm.vm_id] = vm
+                pending_departures.append((vm.end_slot, vm.vm_id))
+
+        violations = self._measure_violations()
+        return ClusterRunResult(self.cluster_id, self.manager, dict(self.placed),
+                                violations)
+
+    # ------------------------------------------------------------------ #
+    # Contention accounting
+    # ------------------------------------------------------------------ #
+    def _measure_violations(self) -> ViolationStats:
+        """Replay utilization of placed VMs against each server's commitments."""
+        start = self.config.placement_start_slot
+        end = self.trace.n_slots
+        n_slots = end - start
+        stats = ViolationStats()
+        if n_slots <= 0:
+            return stats
+
+        cpu_violations = 0
+        mem_violations = 0
+        observed = 0
+        scheduler = self.manager.scheduler
+        for server in scheduler.servers.values():
+            if not server.plans:
+                continue
+            capacity_cpu = server.capacity[Resource.CPU]
+            capacity_mem_backing = server.committed_memory_backing_gb
+            cpu_demand = np.zeros(n_slots)
+            mem_demand = np.zeros(n_slots)
+            occupancy = np.zeros(n_slots, dtype=bool)
+            for vm_id in server.plans:
+                vm = self.placed.get(vm_id)
+                if vm is None:
+                    continue
+                cpu_series = vm.series(Resource.CPU)
+                mem_series = vm.series(Resource.MEMORY)
+                lo = max(vm.start_slot, start)
+                hi = min(vm.end_slot, end)
+                if hi <= lo:
+                    continue
+                cpu_demand[lo - start:hi - start] += (
+                    cpu_series.slice_absolute(lo, hi) * vm.allocated(Resource.CPU))
+                mem_demand[lo - start:hi - start] += (
+                    mem_series.slice_absolute(lo, hi) * vm.allocated(Resource.MEMORY))
+                occupancy[lo - start:hi - start] = True
+
+            occupied = int(occupancy.sum())
+            if occupied == 0:
+                continue
+            observed += occupied
+            cpu_violations += int(np.count_nonzero(
+                occupancy & (cpu_demand > self.config.cpu_contention_fraction * capacity_cpu)))
+            # Memory contention: actual demand exceeds the physical memory the
+            # scheduler committed for these VMs (PA pools plus the multiplexed
+            # oversubscribed pool), i.e. accesses would fault to disk.
+            mem_violations += int(np.count_nonzero(
+                occupancy & (mem_demand > capacity_mem_backing + 1e-6)))
+
+        if observed:
+            stats.cpu_violation_fraction = cpu_violations / observed
+            stats.memory_violation_fraction = mem_violations / observed
+            stats.observed_server_slots = observed
+        return stats
+
+
+def simulate_policy(trace: Trace, policy: PolicyConfig,
+                    config: Optional[SimulationConfig] = None,
+                    prediction_model: Optional[object] = None) -> PolicyEvaluation:
+    """Run the full replay for one policy and aggregate across clusters."""
+    config = config or SimulationConfig()
+    cluster_ids = list(config.clusters) if config.clusters else trace.cluster_ids()
+
+    if prediction_model is None:
+        history, _future = trace.split_at(config.history_end_slot)
+        history_vms = history.long_running().vms
+        prediction_model = build_prediction_model(
+            policy, history_vms, oracle=config.oracle_predictions,
+            n_estimators=config.n_estimators)
+
+    requested = accepted = rejected = servers_in_use = servers_total = 0
+    accepted_cores = accepted_memory = 0.0
+    accepted_vm_slots = 0.0
+    accepted_core_slots = 0.0
+    accepted_memory_slots = 0.0
+    cpu_fraction_weighted = mem_fraction_weighted = 0.0
+    observed_total = 0
+    eval_slots = max(1, trace.n_slots - config.placement_start_slot)
+
+    for cluster_id in cluster_ids:
+        sim = ClusterSimulation(trace, cluster_id, policy, prediction_model, config)
+        result = sim.run()
+        manager = result.manager
+        requested += manager.stats.requests
+        accepted += manager.stats.accepted
+        rejected += manager.stats.rejected
+        servers_in_use += manager.scheduler.servers_in_use()
+        servers_total += len(manager.scheduler.servers)
+        for vm in result.placed_vms.values():
+            accepted_cores += vm.allocated(Resource.CPU)
+            accepted_memory += vm.allocated(Resource.MEMORY)
+            overlap_slots = min(vm.end_slot, trace.n_slots) - max(
+                vm.start_slot, config.placement_start_slot)
+            accepted_vm_slots += overlap_slots
+            accepted_core_slots += overlap_slots * vm.allocated(Resource.CPU)
+            accepted_memory_slots += overlap_slots * vm.allocated(Resource.MEMORY)
+        observed = result.violations.observed_server_slots
+        observed_total += observed
+        cpu_fraction_weighted += result.violations.cpu_violation_fraction * observed
+        mem_fraction_weighted += result.violations.memory_violation_fraction * observed
+
+    violations = ViolationStats(
+        cpu_violation_fraction=(cpu_fraction_weighted / observed_total
+                                if observed_total else 0.0),
+        memory_violation_fraction=(mem_fraction_weighted / observed_total
+                                   if observed_total else 0.0),
+        observed_server_slots=observed_total,
+    )
+    return PolicyEvaluation(
+        policy_name=policy.name,
+        requested_vms=requested,
+        accepted_vms=accepted,
+        rejected_vms=rejected,
+        servers_in_use=servers_in_use,
+        servers_total=servers_total,
+        accepted_core_requests=accepted_cores,
+        accepted_memory_requests_gb=accepted_memory,
+        average_concurrent_vms=accepted_vm_slots / eval_slots,
+        average_concurrent_cores=accepted_core_slots / eval_slots,
+        average_concurrent_memory_gb=accepted_memory_slots / eval_slots,
+        violations=violations,
+    )
+
+
+def evaluate_policies(trace: Trace,
+                      policies: Optional[Dict[str, PolicyConfig]] = None,
+                      config: Optional[SimulationConfig] = None) -> Dict[str, PolicyEvaluation]:
+    """Evaluate several policies on the same trace (Figure 20).
+
+    Returns a mapping from policy name to its evaluation, with additional
+    capacity computed relative to the ``none`` policy when present.
+    """
+    policies = dict(policies or STANDARD_POLICIES)
+    results = {name: simulate_policy(trace, policy, config)
+               for name, policy in policies.items()}
+    if "none" in results:
+        compare_policies(results, baseline="none")
+    return results

@@ -1,0 +1,175 @@
+"""The :class:`Trace` container: a set of VM records plus the fleet they ran on.
+
+A trace is the common currency of the library: the characterization module
+computes Section-2 statistics from it, the prediction module trains on it,
+and the simulator replays it through the Coach scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.resources import Resource
+from repro.trace.hardware import Fleet
+from repro.trace.timeseries import SLOTS_PER_DAY
+from repro.trace.vm import Subscription, VMRecord
+
+
+@dataclass
+class Trace:
+    """A collection of VM records observed over ``n_slots`` 5-minute slots."""
+
+    vms: List[VMRecord]
+    fleet: Fleet
+    n_slots: int
+    subscriptions: Dict[str, Subscription] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_slots <= 0:
+            raise ValueError("trace must span at least one slot")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.vms)
+
+    def __iter__(self) -> Iterator[VMRecord]:
+        return iter(self.vms)
+
+    @property
+    def n_days(self) -> float:
+        return self.n_slots / SLOTS_PER_DAY
+
+    def vm_by_id(self, vm_id: str) -> VMRecord:
+        for vm in self.vms:
+            if vm.vm_id == vm_id:
+                return vm
+        raise KeyError(f"no VM with id {vm_id!r}")
+
+    def cluster_ids(self) -> List[str]:
+        return self.fleet.cluster_ids()
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[VMRecord], bool]) -> "Trace":
+        """A new trace containing only the VMs matching *predicate*."""
+        return Trace(
+            vms=[vm for vm in self.vms if predicate(vm)],
+            fleet=self.fleet,
+            n_slots=self.n_slots,
+            subscriptions=self.subscriptions,
+        )
+
+    def in_cluster(self, cluster_id: str) -> "Trace":
+        return self.filter(lambda vm: vm.cluster_id == cluster_id)
+
+    def long_running(self, min_days: float = 1.0) -> "Trace":
+        """VMs lasting more than *min_days* -- the oversubscription targets."""
+        return self.filter(lambda vm: vm.is_long_running(min_days))
+
+    def alive_at(self, slot: int) -> List[VMRecord]:
+        return [vm for vm in self.vms if vm.alive_at(slot)]
+
+    def arriving_in(self, start_slot: int, end_slot: int) -> List[VMRecord]:
+        """VMs whose allocation time falls in ``[start_slot, end_slot)``."""
+        return [vm for vm in self.vms if start_slot <= vm.start_slot < end_slot]
+
+    def split_at(self, slot: int) -> tuple["Trace", "Trace"]:
+        """Split into (VMs starting before *slot*, VMs starting at/after *slot*).
+
+        Used for history-based prediction: train on week one, evaluate on the
+        VMs created during week two (Figure 12 and Section 3.3).
+        """
+        before = self.filter(lambda vm: vm.start_slot < slot)
+        after = self.filter(lambda vm: vm.start_slot >= slot)
+        return before, after
+
+    def by_subscription(self) -> Dict[str, List[VMRecord]]:
+        groups: Dict[str, List[VMRecord]] = {}
+        for vm in self.vms:
+            groups.setdefault(vm.subscription_id, []).append(vm)
+        return groups
+
+    def by_config(self) -> Dict[str, List[VMRecord]]:
+        groups: Dict[str, List[VMRecord]] = {}
+        for vm in self.vms:
+            groups.setdefault(vm.config.name, []).append(vm)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics
+    # ------------------------------------------------------------------ #
+    def total_resource_hours(self, resource: Resource) -> float:
+        return float(sum(vm.resource_hours(resource) for vm in self.vms))
+
+    def utilization_matrix(self, resource: Resource, cluster_id: Optional[str] = None,
+                           absolute: bool = True) -> np.ndarray:
+        """Dense (n_vms, n_slots) demand matrix for one resource.
+
+        Entries outside a VM's lifetime are zero.  When ``absolute`` is true,
+        values are in resource units (cores / GB / ...), otherwise fractions.
+        """
+        vms = self.vms if cluster_id is None else [
+            vm for vm in self.vms if vm.cluster_id == cluster_id]
+        matrix = np.zeros((len(vms), self.n_slots))
+        for row, vm in enumerate(vms):
+            series = vm.series(resource)
+            scale = vm.allocated(resource) if absolute else 1.0
+            end = min(series.end_slot, self.n_slots)
+            matrix[row, series.start_slot:end] = series.values[: end - series.start_slot] * scale
+        return matrix
+
+    def aggregate_demand(self, resource: Resource, cluster_id: Optional[str] = None) -> np.ndarray:
+        """Total demand for *resource* per slot across the (cluster's) VMs."""
+        return self.utilization_matrix(resource, cluster_id).sum(axis=0)
+
+    def validate(self) -> None:
+        """Validate every VM record; raises on the first inconsistency."""
+        seen: set[str] = set()
+        for vm in self.vms:
+            if vm.vm_id in seen:
+                raise ValueError(f"duplicate VM id {vm.vm_id!r}")
+            seen.add(vm.vm_id)
+            if vm.end_slot > self.n_slots:
+                raise ValueError(
+                    f"VM {vm.vm_id} ends at slot {vm.end_slot}, beyond trace "
+                    f"length {self.n_slots}"
+                )
+            if vm.cluster_id not in self.fleet.cluster_ids():
+                raise ValueError(f"VM {vm.vm_id} references unknown cluster {vm.cluster_id}")
+            vm.validate()
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics used by the README / examples."""
+        long_running = [vm for vm in self.vms if vm.is_long_running()]
+        core_hours = self.total_resource_hours(Resource.CPU)
+        long_core_hours = sum(vm.resource_hours(Resource.CPU) for vm in long_running)
+        return {
+            "n_vms": float(len(self.vms)),
+            "n_clusters": float(len(self.fleet.clusters)),
+            "n_days": self.n_days,
+            "fraction_long_running": len(long_running) / max(len(self.vms), 1),
+            "core_hours": core_hours,
+            "fraction_core_hours_long_running": long_core_hours / max(core_hours, 1e-9),
+        }
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Concatenate traces that share a fleet and horizon (e.g. per-cluster shards)."""
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    first = traces[0]
+    vms: List[VMRecord] = []
+    subscriptions: Dict[str, Subscription] = {}
+    for trace in traces:
+        if trace.n_slots != first.n_slots:
+            raise ValueError("cannot merge traces with different horizons")
+        vms.extend(trace.vms)
+        subscriptions.update(trace.subscriptions)
+    return Trace(vms=vms, fleet=first.fleet, n_slots=first.n_slots,
+                 subscriptions=subscriptions)

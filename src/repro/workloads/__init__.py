@@ -1,0 +1,49 @@
+"""Workload models and runners for the CoachVM performance experiments."""
+
+from repro.workloads.base import KeyMetric, WorkloadProfile, WorkloadResult, summarize_results
+from repro.workloads.perfmodel import (
+    MemoryConfiguration,
+    page_fault_rate,
+    run_configuration,
+    slowdown,
+    total_allocated_memory,
+    va_access_fraction,
+)
+from repro.workloads.runner import (
+    DEFAULT_VA_BACKING,
+    ScenarioVM,
+    SweepPoint,
+    default_scenario_vms,
+    figure18_configurations,
+    pa_va_sweep,
+    run_all_mitigation_policies,
+    run_figure18,
+    run_mitigation_scenario,
+)
+from repro.workloads.suite import REALTIME_WORKLOADS, WORKLOADS, all_workloads, workload
+
+__all__ = [
+    "DEFAULT_VA_BACKING",
+    "KeyMetric",
+    "MemoryConfiguration",
+    "REALTIME_WORKLOADS",
+    "ScenarioVM",
+    "SweepPoint",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "WorkloadResult",
+    "all_workloads",
+    "default_scenario_vms",
+    "figure18_configurations",
+    "pa_va_sweep",
+    "page_fault_rate",
+    "run_all_mitigation_policies",
+    "run_configuration",
+    "run_figure18",
+    "run_mitigation_scenario",
+    "slowdown",
+    "summarize_results",
+    "total_allocated_memory",
+    "va_access_fraction",
+    "workload",
+]

@@ -1,0 +1,175 @@
+"""Analytic performance model for workloads on oversubscribed memory.
+
+The model converts a VM memory configuration -- PA portion, VA portion, how
+much of the VA portion is physically backed -- plus the workload's working-set
+and access characteristics into a slowdown of its key metric.  It reproduces
+the qualitative behaviour the paper measures:
+
+* With zNUMA funnelling, a VM whose PA portion covers its working set sees
+  only a small overhead from being oversubscribed (Figure 15a bottom-right,
+  Figure 18 CVM bars).
+* Under-allocating the PA portion pushes part of the working set onto
+  VA-backed memory; tail-latency workloads degrade sharply because even a
+  small fraction of slow accesses dominates the P99 (CVM-Floor bars).
+* Memory that is neither PA- nor VA-backed pages against the backing store,
+  which is catastrophic (Figure 15a red region, Figure 21 ``None`` policy).
+* Allocation churn (LLM fine-tuning) stresses on-demand VA allocation even
+  when the working set fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import KeyMetric, WorkloadProfile, WorkloadResult
+
+#: Relative cost of an access served from VA-backed memory (first-touch
+#: faults, zNUMA remote-node penalty) versus PA-backed memory.
+MINOR_ACCESS_AMPLIFICATION = 1.2
+#: Relative cost of an access that must page against the backing store.
+MAJOR_FAULT_AMPLIFICATION = 40.0
+#: Multiplier applied to allocation-churn pressure on the VA portion.
+CHURN_AMPLIFICATION = 3.0
+#: Baseline overhead of running with an oversubscribed (VA) portion at all:
+#: access tracking for trimming plus occasional zNUMA spill.
+OVERSUBSCRIPTION_BASE_OVERHEAD = 0.1
+#: A tail-latency metric saturates once this fraction of accesses is slow.
+TAIL_SATURATION_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class MemoryConfiguration:
+    """The memory layout a workload runs on."""
+
+    name: str
+    pa_gb: float
+    va_gb: float
+    #: Fraction of the VA portion backed by physical memory.
+    va_backing_fraction: float = 1.0
+
+    @property
+    def total_gb(self) -> float:
+        return self.pa_gb + self.va_gb
+
+    @property
+    def va_backed_gb(self) -> float:
+        return self.va_gb * self.va_backing_fraction
+
+    def validate(self) -> None:
+        if self.pa_gb < 0 or self.va_gb < 0:
+            raise ValueError("memory portions cannot be negative")
+        if not 0.0 <= self.va_backing_fraction <= 1.0:
+            raise ValueError("backing fraction must be in [0, 1]")
+        if self.total_gb <= 0:
+            raise ValueError("the VM must have some memory")
+
+
+def va_access_fraction(profile: WorkloadProfile, config: MemoryConfiguration) -> float:
+    """Fraction of memory accesses that land on the VA (oversubscribed) portion.
+
+    The guest's NUMA policy keeps hot pages on the PA portion, so spill first
+    consumes the cold part of the working set; accesses only shift to VA in
+    proportion to how cold the spilled pages are.
+    """
+    working_set = min(profile.working_set_gb, config.total_gb)
+    if working_set <= 0:
+        return 0.0
+    spill = max(0.0, working_set - config.pa_gb)
+    if spill <= 0:
+        return 0.0
+    hot_set = profile.hot_set_fraction * working_set
+    cold_set = max(working_set - hot_set, 1e-9)
+    cold_access = 1.0 - profile.hot_fraction
+    if spill <= cold_set:
+        return cold_access * spill / cold_set
+    # Spill reaches into the hot set.
+    hot_spill = spill - cold_set
+    return cold_access + profile.hot_fraction * min(1.0, hot_spill / max(hot_set, 1e-9))
+
+
+def _metric_transform(profile: WorkloadProfile, slow_fraction: float) -> float:
+    """How a given fraction of slow accesses shows up in the key metric.
+
+    Tail latency saturates quickly: once a few percent of requests touch slow
+    memory, the P99 *is* the slow path.  Run time and throughput degrade in
+    proportion to the slow fraction.
+    """
+    if profile.key_metric is KeyMetric.TAIL_LATENCY:
+        return min(1.0, slow_fraction / TAIL_SATURATION_FRACTION)
+    return slow_fraction
+
+
+def slowdown(profile: WorkloadProfile, config: MemoryConfiguration,
+             extra_fault_gb: float = 0.0) -> float:
+    """Normalised slowdown of the workload's key metric (1.0 = baseline).
+
+    ``extra_fault_gb`` lets the Figure 21 runner add paging activity caused by
+    pool exhaustion on the server (beyond what the static layout implies).
+    """
+    config.validate()
+    working_set = min(profile.working_set_gb, config.total_gb)
+    spill = max(0.0, working_set - config.pa_gb)
+    access_va = va_access_fraction(profile, config)
+
+    backed_coverage = 1.0 if spill <= 0 else min(1.0, config.va_backed_gb / spill)
+    minor_fraction = access_va * backed_coverage
+    major_fraction = access_va * (1.0 - backed_coverage)
+
+    # Memory the guest needs but the VM simply does not have (PA+VA < working
+    # set) thrashes continuously inside the guest.
+    guest_shortfall = max(0.0, profile.working_set_gb - config.total_gb)
+    if profile.working_set_gb > 0:
+        major_fraction += guest_shortfall / profile.working_set_gb
+
+    # Additional paging injected by the server (pool exhaustion).
+    if extra_fault_gb > 0 and profile.working_set_gb > 0:
+        major_fraction += min(1.0, extra_fault_gb / profile.working_set_gb)
+
+    minor_term = MINOR_ACCESS_AMPLIFICATION * _metric_transform(profile, minor_fraction)
+    major_term = MAJOR_FAULT_AMPLIFICATION * major_fraction
+
+    has_va = config.va_gb > 0
+    base_overhead = (OVERSUBSCRIPTION_BASE_OVERHEAD
+                     * min(1.0, config.va_gb / config.total_gb) if has_va else 0.0)
+    churn_term = (CHURN_AMPLIFICATION * profile.allocation_churn
+                  * min(1.0, config.va_gb / config.total_gb) if has_va else 0.0)
+
+    return 1.0 + profile.memory_sensitivity * (
+        minor_term + major_term + base_overhead + churn_term)
+
+
+def page_fault_rate(profile: WorkloadProfile, config: MemoryConfiguration) -> float:
+    """Fraction of accesses that fault to the backing store."""
+    working_set = min(profile.working_set_gb, config.total_gb)
+    spill = max(0.0, working_set - config.pa_gb)
+    access_va = va_access_fraction(profile, config)
+    backed_coverage = 1.0 if spill <= 0 else min(1.0, config.va_backed_gb / spill)
+    faults = access_va * (1.0 - backed_coverage)
+    shortfall = max(0.0, profile.working_set_gb - config.total_gb)
+    if profile.working_set_gb > 0:
+        faults += shortfall / profile.working_set_gb
+    return min(1.0, faults)
+
+
+def run_configuration(profile: WorkloadProfile,
+                      config: MemoryConfiguration,
+                      extra_fault_gb: float = 0.0) -> WorkloadResult:
+    """Evaluate one (workload, memory configuration) pair."""
+    factor = slowdown(profile, config, extra_fault_gb)
+    if profile.lower_is_better:
+        metric = profile.baseline_value * factor
+    else:
+        metric = profile.baseline_value / factor
+    return WorkloadResult(
+        workload=profile.name,
+        configuration=config.name,
+        metric_value=metric,
+        slowdown=factor,
+        page_fault_rate=page_fault_rate(profile, config),
+        va_access_fraction=va_access_fraction(profile, config),
+    )
+
+
+def total_allocated_memory(config: MemoryConfiguration) -> float:
+    """Physical memory consumed by the configuration (Figure 15b)."""
+    return config.pa_gb + config.va_backed_gb

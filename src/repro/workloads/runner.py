@@ -1,0 +1,272 @@
+"""Workload runners for the CoachVM performance experiments.
+
+* :func:`figure18_configurations` / :func:`run_figure18` -- the four VM
+  configurations of Section 4.2 (GPVM, CVM, CVM-Floor, OVM) applied to every
+  Table-2 workload.
+* :func:`pa_va_sweep` -- the Figure 15 PA/VA trade-off heat map.
+* :func:`run_mitigation_scenario` -- the Figure 21 single-server contention
+  scenario: Cache and KV-Store colocated with a Video-Conf CVM that uses more
+  memory than predicted, under each mitigation policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coachvm import CoachVM, MemorySplit
+from repro.core.mitigation import MITIGATION_POLICIES, MitigationPolicy, mitigation_policy
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.server_manager import OversubscriptionAgent
+from repro.core.windows import ResourcePlan, VMResourcePlan
+from repro.prediction.buckets import bucketize, round_memory_up
+from repro.simulator.memory import ServerMemoryModel
+from repro.simulator.metrics import MitigationTimeline
+from repro.trace.timeseries import DEFAULT_WINDOWS, UtilizationSeries
+from repro.trace.vm import VM_CATALOG, VMRecord
+from repro.workloads.base import WorkloadProfile, WorkloadResult
+from repro.workloads.perfmodel import (
+    MemoryConfiguration,
+    run_configuration,
+    slowdown,
+    total_allocated_memory,
+)
+from repro.workloads.suite import WORKLOADS, all_workloads
+
+#: Fraction of the VA portion backed with physical memory in the single-VM
+#: experiments (the paper's Figure 15b backs 70%).
+DEFAULT_VA_BACKING = 0.7
+
+
+# --------------------------------------------------------------------------- #
+# Figure 18: GPVM / CVM / CVM-Floor / OVM
+# --------------------------------------------------------------------------- #
+def figure18_configurations(profile: WorkloadProfile,
+                            vm_memory_gb: float = 32.0,
+                            va_backing: float = DEFAULT_VA_BACKING) -> List[MemoryConfiguration]:
+    """The four VM configurations evaluated for one workload."""
+    # Coach sizes the PA portion from the predicted P95 working set, rounded
+    # up to 5% buckets and the 1 GB granularity.
+    predicted_fraction = bucketize(profile.working_set_gb / vm_memory_gb)
+    cvm_pa = min(vm_memory_gb, round_memory_up(predicted_fraction * vm_memory_gb))
+    floor_pa = max(1.0, min(cvm_pa, round_memory_up(profile.working_set_gb)) - 1.0)
+    return [
+        MemoryConfiguration("gpvm", pa_gb=vm_memory_gb, va_gb=0.0),
+        MemoryConfiguration("cvm", pa_gb=cvm_pa, va_gb=vm_memory_gb - cvm_pa,
+                            va_backing_fraction=va_backing),
+        MemoryConfiguration("cvm-floor", pa_gb=floor_pa, va_gb=vm_memory_gb - floor_pa,
+                            va_backing_fraction=va_backing),
+        MemoryConfiguration("ovm", pa_gb=0.0, va_gb=vm_memory_gb,
+                            va_backing_fraction=va_backing),
+    ]
+
+
+def run_figure18(vm_memory_gb: float = 32.0,
+                 workloads: Optional[Sequence[WorkloadProfile]] = None) -> List[WorkloadResult]:
+    """Run every workload under every VM configuration (Figure 18)."""
+    results: List[WorkloadResult] = []
+    for profile in (workloads or all_workloads()):
+        for config in figure18_configurations(profile, vm_memory_gb):
+            results.append(run_configuration(profile, config))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 15: PA/VA trade-off
+# --------------------------------------------------------------------------- #
+@dataclass
+class SweepPoint:
+    pa_gb: float
+    va_gb: float
+    slowdown: float
+    allocated_gb: float
+
+
+def pa_va_sweep(profile: Optional[WorkloadProfile] = None,
+                vm_memory_gb: float = 32.0,
+                step_gb: float = 4.0,
+                va_backing: float = DEFAULT_VA_BACKING) -> List[SweepPoint]:
+    """Sweep PA/VA splits for a 32 GB VM (Figure 15).
+
+    Only valid configurations (positive memory, at most the VM size) are
+    returned; the default workload mirrors the paper's memory-sensitive
+    application with an 18 GB working set.
+    """
+    if profile is None:
+        profile = WorkloadProfile(
+            name="memory-sensitive", description="Figure 15 subject",
+            key_metric=WORKLOADS["cache"].key_metric, baseline_value=1.0,
+            metric_unit="x", working_set_gb=18.0, hot_fraction=0.8,
+            memory_sensitivity=0.9, allocation_churn=0.02, hot_set_fraction=0.5)
+    points: List[SweepPoint] = []
+    steps = int(vm_memory_gb / step_gb) + 1
+    for pa_index in range(steps):
+        for va_index in range(steps):
+            pa = pa_index * step_gb
+            va = va_index * step_gb
+            total = pa + va
+            if total <= 0 or total > vm_memory_gb + 1e-9:
+                continue
+            config = MemoryConfiguration("sweep", pa_gb=pa, va_gb=va,
+                                         va_backing_fraction=va_backing)
+            points.append(SweepPoint(
+                pa_gb=pa, va_gb=va,
+                slowdown=slowdown(profile, config),
+                allocated_gb=total_allocated_memory(config)))
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Figure 21: mitigation scenario
+# --------------------------------------------------------------------------- #
+def _static_coachvm(vm_id: str, memory_gb: float, pa_gb: float,
+                    config_name: str = "D2_v5") -> CoachVM:
+    """Build a CoachVM with a fixed PA/VA split for single-server scenarios."""
+    vm_config = VM_CATALOG[config_name]
+    record = VMRecord(
+        vm_id=vm_id,
+        subscription_id="scenario",
+        config=vm_config,
+        cluster_id="C1",
+        start_slot=0,
+        end_slot=1,
+        utilization={r: UtilizationSeries([0.5], 0) for r in ALL_RESOURCES},
+    )
+    n_windows = DEFAULT_WINDOWS.windows_per_day
+    plans = {}
+    for resource in ALL_RESOURCES:
+        requested = memory_gb if resource is Resource.MEMORY else record.allocated(resource)
+        guaranteed = pa_gb if resource is Resource.MEMORY else requested
+        plans[resource] = ResourcePlan(
+            resource=resource, requested=float(requested), guaranteed=float(guaranteed),
+            window_demand=np.full(n_windows, float(requested)),
+            window_oversubscribed=np.full(n_windows, float(requested - guaranteed)))
+    plan = VMResourcePlan(vm_id=vm_id, windows=DEFAULT_WINDOWS, plans=plans,
+                          oversubscribed=pa_gb < memory_gb)
+    split = MemorySplit(pa_gb=float(pa_gb), va_gb=float(memory_gb - pa_gb), va_backed_gb=0.0)
+    return CoachVM(vm=record, plan=plan, memory=split)
+
+
+@dataclass
+class ScenarioVM:
+    """One VM participating in the Figure 21 scenario."""
+
+    vm_id: str
+    workload: WorkloadProfile
+    memory_gb: float
+    pa_gb: float
+    #: Demand in GB as a function of time in seconds.
+    demand_schedule: Dict[float, float]
+
+    def demand_at(self, time_seconds: float) -> float:
+        demand = 0.0
+        for start, value in sorted(self.demand_schedule.items()):
+            if time_seconds >= start:
+                demand = value
+        return demand
+
+
+def default_scenario_vms() -> List[ScenarioVM]:
+    """The Cache + KV-Store + Video-Conf colocation of Section 4.4.
+
+    Cache and KV-Store have ~4 GB working sets on 8 GB CVMs with 3 GB PA;
+    Video Conf has a 5 GB working set on an 8 GB CVM with only 1 GB PA and
+    consumes more memory than predicted twice (at 135 s and 255 s).
+    """
+    cache = ScenarioVM(
+        vm_id="cache", workload=WORKLOADS["cache"].__class__(**{
+            **WORKLOADS["cache"].__dict__, "working_set_gb": 4.0,
+            "default_vm_memory_gb": 8.0}),
+        memory_gb=8.0, pa_gb=3.0,
+        demand_schedule={0.0: 2.0, 30.0: 4.2, 90.0: 3.6})
+    kvstore = ScenarioVM(
+        vm_id="kvstore", workload=WORKLOADS["kvstore"].__class__(**{
+            **WORKLOADS["kvstore"].__dict__, "working_set_gb": 4.0,
+            "default_vm_memory_gb": 8.0}),
+        memory_gb=8.0, pa_gb=3.0,
+        demand_schedule={0.0: 2.0, 30.0: 4.2, 90.0: 3.6})
+    videoconf = ScenarioVM(
+        vm_id="videoconf", workload=WORKLOADS["videoconf"].__class__(**{
+            **WORKLOADS["videoconf"].__dict__, "working_set_gb": 5.0,
+            "default_vm_memory_gb": 8.0}),
+        memory_gb=8.0, pa_gb=1.0,
+        demand_schedule={0.0: 2.0, 135.0: 5.0, 255.0: 7.5})
+    return [cache, kvstore, videoconf]
+
+
+def run_mitigation_scenario(policy: str | MitigationPolicy,
+                            duration_seconds: float = 330.0,
+                            interval_seconds: float = 15.0,
+                            server_memory_gb: float = 32.0,
+                            oversub_pool_gb: float = 6.0,
+                            scenario_vms: Optional[List[ScenarioVM]] = None,
+                            contention_spillover: float = 0.25) -> MitigationTimeline:
+    """Run the Figure 21 contention scenario under one mitigation policy."""
+    if isinstance(policy, str):
+        policy = mitigation_policy(policy)
+    vms = scenario_vms or default_scenario_vms()
+
+    memory = ServerMemoryModel(capacity_gb=server_memory_gb, host_reserved_gb=2.0,
+                               oversub_pool_gb=oversub_pool_gb)
+    coach_vms: Dict[str, CoachVM] = {}
+    for scenario_vm in vms:
+        coach_vm = _static_coachvm(scenario_vm.vm_id, scenario_vm.memory_gb,
+                                   scenario_vm.pa_gb)
+        memory.add_vm(coach_vm)
+        coach_vms[scenario_vm.vm_id] = coach_vm
+
+    agent = OversubscriptionAgent(memory, policy, interval_seconds=interval_seconds)
+    timeline = MitigationTimeline(policy_name=policy.name)
+    for vm in vms:
+        timeline.slowdown[vm.vm_id] = []
+
+    steps = int(duration_seconds / interval_seconds)
+    for step in range(steps):
+        now = step * interval_seconds
+        demands = {vm.vm_id: vm.demand_at(now) for vm in vms}
+        report = agent.tick(now, demands, cpu_utilization=0.35)
+
+        timeline.times_seconds.append(now)
+        timeline.available_oversub_gb.append(report.oversub_available_gb)
+        timeline.page_fault_gb.append(report.page_fault_gb)
+
+        total_faults = report.page_fault_gb
+        total_backed = max(1e-9, memory.oversub_used_gb)
+        outcome_unbacked = {vm_id: 0.0 for vm_id in coach_vms}
+        if agent.reports:
+            # The last tick's per-VM unbacked demand lives in the memory model.
+            outcome_unbacked = {vm_id: memory._last_unbacked.get(vm_id, 0.0)
+                                for vm_id in coach_vms}
+
+        for vm in vms:
+            coach_vm = coach_vms[vm.vm_id]
+            if coach_vm.vm_id not in memory.vms:
+                # Migrated away: its workload continues unaffected elsewhere.
+                timeline.slowdown[vm.vm_id].append(1.0)
+                continue
+            demand = demands[vm.vm_id]
+            va = coach_vm.memory.va_gb
+            backing_fraction = (coach_vm.memory.va_backed_gb / va) if va > 0 else 1.0
+            config = MemoryConfiguration(
+                policy.name, pa_gb=coach_vm.memory.pa_gb, va_gb=va,
+                va_backing_fraction=backing_fraction)
+            own_unbacked = outcome_unbacked.get(vm.vm_id, 0.0)
+            spillover = (contention_spillover * total_faults
+                         * coach_vm.memory.va_backed_gb / total_backed)
+            profile = vm.workload
+            effective = profile.__class__(**{**profile.__dict__,
+                                             "working_set_gb": min(demand, profile.working_set_gb)
+                                             if demand > 0 else profile.working_set_gb})
+            timeline.slowdown[vm.vm_id].append(
+                slowdown(effective, config, extra_fault_gb=own_unbacked + spillover))
+
+    return timeline
+
+
+def run_all_mitigation_policies(duration_seconds: float = 330.0,
+                                interval_seconds: float = 15.0) -> Dict[str, MitigationTimeline]:
+    """Run the Figure 21 scenario under every mitigation policy."""
+    return {name: run_mitigation_scenario(name, duration_seconds, interval_seconds)
+            for name in MITIGATION_POLICIES}

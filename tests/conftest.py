@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small but realistic two-week trace shared across tests."""
+    config = TraceGeneratorConfig(n_vms=250, n_days=14, seed=7, n_subscriptions=40,
+                                  servers_per_cluster=3)
+    return TraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A very small one-week trace for the fastest tests."""
+    config = TraceGeneratorConfig(n_vms=80, n_days=7, seed=3, n_subscriptions=15,
+                                  servers_per_cluster=2)
+    return TraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def long_running_vm(small_trace):
+    """One long-running VM with full utilization history."""
+    candidates = [vm for vm in small_trace.long_running(3.0) if vm.has_utilization()]
+    assert candidates, "the small trace should contain long-running VMs"
+    return candidates[0]

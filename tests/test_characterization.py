@@ -1,0 +1,163 @@
+"""Tests for the Section-2 characterization analyses."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import (
+    cluster_savings,
+    fraction_consistent,
+    group_predictability,
+    measure_stranding,
+    median_vm_shape,
+    peak_consistency_cdf,
+    peaks_and_valleys_by_window,
+    predictability_summary,
+    resource_hours_by_duration,
+    resource_hours_by_size,
+    savings_distribution,
+    stranding_by_scenario,
+    utilization_scatter,
+    utilization_summary,
+    vm_week_profile,
+)
+from repro.core.resources import Resource
+from repro.trace.timeseries import SLOTS_PER_DAY
+
+
+class TestAllocatedCharacterization:
+    def test_duration_shares_are_monotone(self, small_trace):
+        rows = resource_hours_by_duration(small_trace)
+        # Larger thresholds can only reduce the share of VMs and hours.
+        assert rows["vms_pct"] == sorted(rows["vms_pct"], reverse=True)
+        assert rows["cpu_hours_pct"] == sorted(rows["cpu_hours_pct"], reverse=True)
+
+    def test_long_running_vms_dominate_hours(self, small_trace):
+        rows = resource_hours_by_duration(small_trace)
+        one_day_index = rows["threshold_hours"].index(24)
+        assert rows["cpu_hours_pct"][one_day_index] > 85.0
+        assert rows["vms_pct"][one_day_index] < 50.0
+
+    def test_size_shares(self, small_trace):
+        rows = resource_hours_by_size(small_trace)
+        assert rows["cores"]["resource_hours_pct"][0] == pytest.approx(100.0)
+        assert rows["memory"]["vms_pct"] == sorted(rows["memory"]["vms_pct"], reverse=True)
+
+    def test_median_shape(self, small_trace):
+        shape = median_vm_shape(small_trace)
+        assert shape["median_cores"] >= 1
+        assert shape["n_vms"] == len(small_trace)
+
+
+class TestStranding:
+    def test_scenarios(self, tiny_trace):
+        results = stranding_by_scenario(tiny_trace, sample_every_slots=SLOTS_PER_DAY)
+        assert set(results) == {"no-oversub", "cpu-only", "cpu+memory"}
+        for result in results.values():
+            for fraction in result.stranded_fraction.values():
+                assert 0.0 <= fraction <= 1.0
+            assert sum(result.bottleneck_fraction.values()) == pytest.approx(1.0)
+
+    def test_oversubscription_reduces_non_cpu_stranding(self, small_trace):
+        base = measure_stranding(small_trace, "no-oversub",
+                                 sample_every_slots=SLOTS_PER_DAY)
+        cpu_only = measure_stranding(small_trace, "cpu-only",
+                                     sample_every_slots=SLOTS_PER_DAY)
+        # Freeing underutilized CPU lets the fill consume more of the other
+        # resources, so their stranding cannot increase.
+        assert (cpu_only.stranded_fraction[Resource.MEMORY]
+                <= base.stranded_fraction[Resource.MEMORY] + 1e-9)
+
+    def test_unknown_scenario_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            measure_stranding(tiny_trace, "network-only")
+
+    def test_cluster_hardware_drives_bottleneck(self, small_trace):
+        result = measure_stranding(small_trace, "no-oversub",
+                                   sample_every_slots=SLOTS_PER_DAY,
+                                   clusters=["C1", "C4"])
+        c1 = result.per_cluster_bottleneck["C1"]
+        c4 = result.per_cluster_bottleneck["C4"]
+        # C1 is memory-rich (CPU binds); C4 is core-rich (memory binds).
+        assert c1[Resource.CPU] >= c4[Resource.CPU]
+        assert c4[Resource.MEMORY] >= c1[Resource.MEMORY]
+
+
+class TestUnderutilization:
+    def test_scatter_fields_aligned(self, small_trace):
+        scatter = utilization_scatter(small_trace)
+        n = len(scatter["vm_id"])
+        assert n > 0
+        assert all(len(v) == n for v in scatter.values())
+
+    def test_summary_reflects_paper_shape(self, small_trace):
+        summary = utilization_summary(small_trace)
+        assert summary["fraction_cpu_mean_below_50"] > 0.5
+        assert summary["median_memory_range"] < summary["median_cpu_range"]
+
+
+class TestTemporal:
+    def test_week_profile_fields(self, small_trace, long_running_vm):
+        profile = vm_week_profile(long_running_vm)
+        assert profile["utilization"].size == long_running_vm.lifetime_slots
+        assert profile["lifetime_window_max"].shape == (3,)
+
+    def test_peaks_distribution_shapes(self, small_trace):
+        result = peaks_and_valleys_by_window(small_trace, Resource.CPU)
+        assert result["peaks"].shape == (7, 6)
+        assert result["valleys"].shape == (7, 6)
+        assert np.all(result["none"] <= 1.0)
+
+    def test_most_vms_have_cpu_peaks(self, small_trace):
+        result = peaks_and_valleys_by_window(small_trace, Resource.CPU)
+        # The paper reports <10% of VMs without CPU peaks; allow some slack.
+        assert result["none"].mean() < 0.35
+
+    def test_consistency_cdf_monotone(self, small_trace):
+        cdfs = peak_consistency_cdf(small_trace, Resource.CPU, [4, 24])
+        for rows in cdfs.values():
+            assert rows["cdf"] == sorted(rows["cdf"])
+            assert rows["cdf"][-1] <= 1.0
+
+    def test_memory_more_consistent_than_cpu(self, small_trace):
+        cpu = fraction_consistent(small_trace, Resource.CPU, tolerance=0.05)
+        mem = fraction_consistent(small_trace, Resource.MEMORY, tolerance=0.05)
+        assert mem >= cpu
+
+
+class TestSavings:
+    def test_finer_windows_save_more(self, small_trace):
+        savings = cluster_savings(small_trace, window_hours_sweep=[24, 4, 1])
+        assert savings["24x1hr"]["cpu"] >= savings["6x4hr"]["cpu"] >= savings["1x24hr"]["cpu"]
+        assert savings["ideal"]["cpu"] >= savings["24x1hr"]["cpu"] - 1e-9
+
+    def test_cpu_savings_exceed_memory_savings(self, small_trace):
+        savings = cluster_savings(small_trace, window_hours_sweep=[4])
+        assert savings["6x4hr"]["cpu"] >= savings["6x4hr"]["memory"]
+
+    def test_distribution_statistics_ordered(self, small_trace):
+        dist = savings_distribution(small_trace, window_hours_sweep=[4])
+        stats = dist["6x4hr"]["cpu"]
+        assert stats["min"] <= stats["p25"] <= stats["median"] <= stats["p75"] <= stats["max"]
+
+
+class TestPredictability:
+    def test_groupings_produce_aligned_lists(self, small_trace):
+        detail = group_predictability(small_trace)
+        for rows in detail.values():
+            n = len(rows["matching_vms"])
+            assert len(rows["peak_range_pct"]) == n
+            assert len(rows["prediction_error_pct"]) == n
+
+    def test_configuration_grouping_has_most_matches(self, small_trace):
+        summary = predictability_summary(small_trace)
+        assert (summary["configuration"]["median_matching_vms"]
+                >= summary["subscription+configuration"]["median_matching_vms"])
+
+    def test_combined_grouping_has_smallest_range(self, small_trace):
+        summary = predictability_summary(small_trace)
+        assert (summary["subscription+configuration"]["median_peak_range_pct"]
+                <= summary["configuration"]["median_peak_range_pct"] + 1e-9)
+
+    def test_memory_reasonably_predictable(self, small_trace):
+        summary = predictability_summary(small_trace, Resource.MEMORY)
+        assert summary["subscription+configuration"]["fraction_within_tolerance"] > 0.3

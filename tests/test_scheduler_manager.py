@@ -1,0 +1,224 @@
+"""Tests for the scheduler, policies, and cluster manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_manager import ClusterManager, build_prediction_model
+from repro.core.policy import (
+    AGGR_COACH_POLICY,
+    COACH_POLICY,
+    NO_OVERSUBSCRIPTION_POLICY,
+    SINGLE_RATE_POLICY,
+    STANDARD_POLICIES,
+    policy_by_name,
+)
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.scheduler import ClusterScheduler, ServerAccount, schedule_all
+from repro.core.windows import plan_vm
+from repro.prediction.utilization_model import (
+    NoOversubscriptionModel,
+    OracleUtilizationModel,
+    WindowUtilizationPrediction,
+)
+from repro.trace.hardware import ClusterConfig, HARDWARE_GENERATIONS
+from repro.trace.timeseries import TimeWindowConfig
+
+
+class TestPolicies:
+    def test_standard_policies_present(self):
+        assert set(STANDARD_POLICIES) == {"none", "single", "coach", "aggr-coach"}
+
+    def test_coach_defaults(self):
+        assert COACH_POLICY.windows.window_hours == 4
+        assert COACH_POLICY.percentile == 95.0
+        assert COACH_POLICY.oversubscribe
+
+    def test_aggressive_uses_p50(self):
+        assert AGGR_COACH_POLICY.percentile == 50.0
+
+    def test_single_rate_uses_one_window(self):
+        assert SINGLE_RATE_POLICY.windows.windows_per_day == 1
+
+    def test_none_disables_oversubscription(self):
+        assert not NO_OVERSUBSCRIPTION_POLICY.oversubscribe
+
+    def test_lookup_and_modifiers(self):
+        assert policy_by_name("Coach") is COACH_POLICY
+        with pytest.raises(KeyError):
+            policy_by_name("bogus")
+        assert COACH_POLICY.with_percentile(80.0).percentile == 80.0
+        assert COACH_POLICY.with_windows(6).windows.windows_per_day == 4
+
+
+def _flat_prediction(windows, percentile, maximum):
+    return WindowUtilizationPrediction(
+        windows=windows,
+        percentile={r: np.full(windows.windows_per_day, percentile) for r in ALL_RESOURCES},
+        maximum={r: np.full(windows.windows_per_day, maximum) for r in ALL_RESOURCES},
+    )
+
+
+def _plan(vm_id, windows, memory_gb=16.0, cores=4.0, percentile=1.0, maximum=1.0):
+    prediction = _flat_prediction(windows, percentile, maximum)
+    allocation = {Resource.CPU: cores, Resource.MEMORY: memory_gb,
+                  Resource.NETWORK: 2.0, Resource.SSD: 128.0}
+    return plan_vm(vm_id, allocation, prediction, oversubscribe=percentile < 1.0)
+
+
+class TestServerAccount:
+    def _account(self, windows=TimeWindowConfig(4)):
+        return ServerAccount("s0", HARDWARE_GENERATIONS["gen4-intel"], windows)
+
+    def test_commit_and_release_are_inverse(self):
+        account = self._account()
+        plan = _plan("vm-a", account.windows, percentile=0.5, maximum=0.75)
+        account.commit(plan)
+        assert account.n_vms == 1
+        assert account.pa_memory_gb > 0
+        account.release("vm-a")
+        assert account.n_vms == 0
+        assert account.pa_memory_gb == pytest.approx(0.0)
+        assert np.allclose(account.va_window_demand, 0.0)
+
+    def test_full_allocation_packing_limit(self):
+        """Without oversubscription, a 40-core/160 GB server fits ten 4-core/16 GB VMs."""
+        account = self._account()
+        placed = 0
+        for i in range(15):
+            plan = _plan(f"vm-{i}", account.windows)
+            if account.can_fit(plan):
+                account.commit(plan)
+                placed += 1
+        assert placed == 10
+
+    def test_oversubscription_fits_more(self):
+        account = self._account()
+        placed = 0
+        for i in range(40):
+            plan = _plan(f"vm-{i}", account.windows, percentile=0.5, maximum=0.6)
+            if account.can_fit(plan):
+                account.commit(plan)
+                placed += 1
+        assert placed > 10
+
+    def test_duplicate_commit_rejected(self):
+        account = self._account()
+        plan = _plan("vm-a", account.windows)
+        account.commit(plan)
+        with pytest.raises(ValueError):
+            account.commit(plan)
+
+    def test_release_unknown_vm_raises(self):
+        with pytest.raises(KeyError):
+            self._account().release("ghost")
+
+    def test_window_mismatch_rejected(self):
+        account = self._account(TimeWindowConfig(4))
+        plan = _plan("vm-a", TimeWindowConfig(8))
+        with pytest.raises(ValueError):
+            account.can_fit(plan)
+
+    def test_backing_check_stricter_than_vector_check(self):
+        account = self._account()
+        # Fill most of the server, then check the two admission variants agree
+        # on obviously-fitting and obviously-not-fitting plans.
+        small = _plan("small", account.windows, memory_gb=8.0, cores=2.0,
+                      percentile=0.25, maximum=0.5)
+        assert account.fits_vector_check(small) and account.fits_backing_check(small)
+        huge = _plan("huge", account.windows, memory_gb=512.0, cores=80.0)
+        assert not account.fits_vector_check(huge)
+        assert not account.fits_backing_check(huge)
+
+
+class TestClusterScheduler:
+    def _scheduler(self, windows=TimeWindowConfig(4)):
+        cluster = ClusterConfig("CT", "test", (("gen4-intel", 2),))
+        return ClusterScheduler(cluster, windows)
+
+    def test_placement_and_deallocation(self):
+        scheduler = self._scheduler()
+        plan = _plan("vm-a", TimeWindowConfig(4))
+        decision = scheduler.place(plan)
+        assert decision.accepted
+        assert scheduler.server_of("vm-a") == decision.server_id
+        scheduler.deallocate("vm-a")
+        assert scheduler.server_of("vm-a") is None
+        assert scheduler.servers_in_use() == 0
+
+    def test_best_fit_consolidates(self):
+        scheduler = self._scheduler()
+        decisions = schedule_all(scheduler, [
+            _plan(f"vm-{i}", TimeWindowConfig(4), memory_gb=8.0, cores=2.0)
+            for i in range(5)])
+        assert all(d.accepted for d in decisions)
+        # Best-fit should pack all five small VMs onto a single server.
+        assert scheduler.servers_in_use() == 1
+
+    def test_rejection_when_full(self):
+        scheduler = self._scheduler()
+        decisions = schedule_all(scheduler, [
+            _plan(f"vm-{i}", TimeWindowConfig(4), memory_gb=64.0, cores=16.0)
+            for i in range(10)])
+        assert any(not d.accepted for d in decisions)
+        assert scheduler.rejected_count() > 0
+        assert scheduler.accepted_count() + scheduler.rejected_count() == 10
+
+    def test_capacity_totals(self):
+        scheduler = self._scheduler()
+        assert scheduler.total_capacity(Resource.CPU) == pytest.approx(80.0)
+        assert scheduler.total_capacity(Resource.MEMORY) == pytest.approx(320.0)
+
+
+class TestClusterManager:
+    def test_none_policy_never_oversubscribes(self, tiny_trace):
+        cluster_id = tiny_trace.cluster_ids()[0]
+        manager = ClusterManager(tiny_trace.fleet.get(cluster_id),
+                                 NO_OVERSUBSCRIPTION_POLICY)
+        vms = [vm for vm in tiny_trace.vms if vm.cluster_id == cluster_id][:10]
+        results = manager.request_many(vms)
+        for result in results:
+            if result.accepted:
+                assert not result.coach_vm.is_oversubscribed
+        assert manager.stats.oversubscribed == 0
+
+    def test_coach_policy_with_oracle_oversubscribes(self, tiny_trace):
+        cluster_id = tiny_trace.cluster_ids()[0]
+        oracle = OracleUtilizationModel(COACH_POLICY.windows, COACH_POLICY.percentile)
+        manager = ClusterManager(tiny_trace.fleet.get(cluster_id), COACH_POLICY, oracle)
+        vms = [vm for vm in tiny_trace.vms if vm.cluster_id == cluster_id][:10]
+        results = manager.request_many(vms)
+        accepted = [r for r in results if r.accepted]
+        assert accepted
+        assert any(r.coach_vm.is_oversubscribed for r in accepted)
+        assert manager.stats.savings_gb > 0
+
+    def test_deallocate_frees_capacity(self, tiny_trace):
+        cluster_id = tiny_trace.cluster_ids()[0]
+        manager = ClusterManager(tiny_trace.fleet.get(cluster_id),
+                                 NO_OVERSUBSCRIPTION_POLICY)
+        vm = next(v for v in tiny_trace.vms if v.cluster_id == cluster_id)
+        result = manager.request_vm(vm)
+        assert result.accepted
+        manager.deallocate(vm.vm_id)
+        assert vm.vm_id not in manager.placed_vms()
+
+    def test_window_mismatch_between_policy_and_model(self, tiny_trace):
+        cluster_id = tiny_trace.cluster_ids()[0]
+        wrong_model = NoOversubscriptionModel(TimeWindowConfig(8))
+        manager = ClusterManager(tiny_trace.fleet.get(cluster_id), COACH_POLICY, wrong_model)
+        with pytest.raises(ValueError):
+            manager.request_vm(tiny_trace.vms[0])
+
+    def test_capacity_summary_keys(self, tiny_trace):
+        cluster_id = tiny_trace.cluster_ids()[0]
+        manager = ClusterManager(tiny_trace.fleet.get(cluster_id),
+                                 NO_OVERSUBSCRIPTION_POLICY)
+        summary = manager.capacity_summary()
+        assert {"vms_placed", "servers_in_use", "allocated_cores"} <= set(summary)
+
+    def test_build_prediction_model_variants(self, tiny_trace):
+        history = tiny_trace.long_running().vms
+        none_model = build_prediction_model(NO_OVERSUBSCRIPTION_POLICY, history)
+        assert isinstance(none_model, NoOversubscriptionModel)
+        oracle = build_prediction_model(COACH_POLICY, history, oracle=True)
+        assert isinstance(oracle, OracleUtilizationModel)

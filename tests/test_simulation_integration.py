@@ -1,0 +1,166 @@
+"""Integration tests: cluster-scale simulation, experiments, and overheads."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    COACH_POLICY,
+    NO_OVERSUBSCRIPTION_POLICY,
+    SINGLE_RATE_POLICY,
+)
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.figures import (
+    figure17_oversub_accesses,
+    figure19_prediction_accuracy,
+)
+from repro.experiments.overheads import (
+    local_predictor_overheads,
+    mitigation_bandwidths,
+    scheduling_overheads,
+    training_overheads,
+)
+from repro.prediction.contention import TwoLevelContentionPredictor
+from repro.simulator import SimulationConfig, evaluate_policies, simulate_policy
+
+
+@pytest.fixture(scope="module")
+def sim_config(small_trace):
+    cluster = small_trace.cluster_ids()[0]
+    return SimulationConfig(clusters=[cluster], n_estimators=3)
+
+
+class TestClusterSimulation:
+    def test_single_policy_run(self, small_trace, sim_config):
+        result = simulate_policy(small_trace, NO_OVERSUBSCRIPTION_POLICY, sim_config)
+        assert result.requested_vms > 0
+        assert 0 <= result.accepted_vms <= result.requested_vms
+        assert result.accepted_vms + result.rejected_vms == result.requested_vms
+        assert result.average_concurrent_cores >= 0
+
+    def test_oversubscription_hosts_at_least_as_much(self, small_trace, sim_config):
+        results = evaluate_policies(
+            small_trace,
+            {"none": NO_OVERSUBSCRIPTION_POLICY, "coach": COACH_POLICY},
+            sim_config)
+        assert results["coach"].average_concurrent_cores >= (
+            results["none"].average_concurrent_cores - 1e-6)
+        assert results["none"].additional_capacity_pct == pytest.approx(0.0)
+        assert results["coach"].additional_capacity_pct >= -1e-9
+
+    def test_violation_fractions_bounded(self, small_trace, sim_config):
+        result = simulate_policy(small_trace, SINGLE_RATE_POLICY, sim_config)
+        assert 0.0 <= result.violations.cpu_violation_fraction <= 1.0
+        assert 0.0 <= result.violations.memory_violation_fraction <= 1.0
+
+    def test_none_policy_has_no_memory_violations(self, small_trace, sim_config):
+        """Without oversubscription, committed backing equals the request, so
+        actual demand can never exceed it."""
+        result = simulate_policy(small_trace, NO_OVERSUBSCRIPTION_POLICY, sim_config)
+        assert result.violations.memory_violation_fraction == pytest.approx(0.0)
+
+
+class TestExperimentsRegistry:
+    def test_all_expected_experiments_registered(self):
+        expected = {f"figure{i:02d}" for i in (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                               15, 17, 18, 19, 20, 21)}
+        expected.add("section4.5")
+        assert expected == set(list_experiments())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("figure99")
+
+    def test_trace_free_experiments_run(self):
+        assert EXPERIMENTS["figure15"].run()
+        assert EXPERIMENTS["figure18"].run()
+
+    def test_characterization_experiments_run_on_fixture(self, small_trace):
+        for experiment_id in ("figure02", "figure03", "figure06", "figure08",
+                              "figure10", "figure11", "figure12"):
+            assert EXPERIMENTS[experiment_id].run(small_trace)
+
+
+class TestFigure17:
+    def test_higher_percentile_reduces_oversub_accesses(self, small_trace):
+        result = figure17_oversub_accesses(small_trace, percentiles=(75, 95),
+                                           window_hours_sweep=(4,))
+        table = result["mean_oversub_access_pct"][4]
+        assert table[95] <= table[75] + 1e-9
+
+    def test_oversub_accesses_below_worst_case(self, small_trace):
+        result = figure17_oversub_accesses(small_trace, percentiles=(80,),
+                                           window_hours_sweep=(4,))
+        assert result["mean_oversub_access_pct"][4][80] <= result["worst_case_pct"][80.0]
+
+    def test_cdf_present_for_4hr(self, small_trace):
+        result = figure17_oversub_accesses(small_trace, percentiles=(90,),
+                                           window_hours_sweep=(4,))
+        assert 90 in result["cdf_4hr_pct"]
+        assert result["cdf_4hr_pct"][90] == sorted(result["cdf_4hr_pct"][90])
+
+
+class TestFigure19:
+    def test_prediction_accuracy_structure(self, small_trace):
+        rows = figure19_prediction_accuracy(small_trace, percentiles=(95.0, 85.0),
+                                            n_estimators=3, max_eval_vms=40)
+        assert len(rows) == 4  # 2 percentiles x 2 resources
+        for row in rows:
+            assert 0.0 <= row.under_allocation_pct <= 100.0
+            assert row.over_allocation_error_pct >= 0.0
+
+    def test_lower_percentile_reduces_over_allocation(self, small_trace):
+        rows = figure19_prediction_accuracy(small_trace, percentiles=(95.0, 85.0),
+                                            n_estimators=3, max_eval_vms=40)
+        by_key = {(r.resource, r.percentile): r for r in rows}
+        assert (by_key[("memory", 85.0)].over_allocation_error_pct
+                <= by_key[("memory", 95.0)].over_allocation_error_pct + 15.0)
+
+
+class TestOverheads:
+    def test_training_overheads(self, tiny_trace):
+        report = training_overheads(tiny_trace, n_estimators=3)
+        assert report["n_training_vms"] > 0
+        assert report["training_seconds"] > 0
+        assert report["model_size_mb"] > 0
+
+    def test_scheduling_overhead_small(self, tiny_trace):
+        report = scheduling_overheads(tiny_trace, cluster_id=tiny_trace.cluster_ids()[0],
+                                      max_vms=30)
+        assert report["coach_ms_per_vm"] < 100.0
+        assert "added_ms_per_vm" in report
+
+    def test_local_predictor_footprint(self):
+        report = local_predictor_overheads(samples=120)
+        assert report["model_memory_kb"] < 64.0
+        assert report["train_infer_cycle_ms"] > 0
+
+    def test_mitigation_bandwidths_match_paper(self):
+        bandwidths = mitigation_bandwidths()
+        assert bandwidths["trim_bandwidth_gbps"] == pytest.approx(1.1)
+        assert bandwidths["extend_bandwidth_gbps"] == pytest.approx(15.7)
+
+
+class TestContentionPredictor:
+    def test_two_level_forecast(self):
+        predictor = TwoLevelContentionPredictor(samples_per_window=5, warmup_windows=2)
+        rng = np.random.default_rng(0)
+        for i in range(60):
+            predictor.observe(float(np.clip(0.4 + 0.2 * np.sin(i / 5)
+                                            + rng.normal(0, 0.01), 0, 1)))
+        forecast = predictor.forecast()
+        assert 0.0 <= forecast.short_term <= 1.0
+        assert predictor.lstm_ready
+        assert forecast.long_term is not None
+        assert 0.0 <= forecast.long_term <= 1.0
+
+    def test_exceeds_threshold(self):
+        predictor = TwoLevelContentionPredictor(samples_per_window=5, warmup_windows=100)
+        for _ in range(10):
+            predictor.observe(0.95)
+        assert predictor.forecast().exceeds(0.9)
+        assert not predictor.forecast().exceeds(0.99)
+
+    def test_ewma_error_evaluation(self):
+        series = np.clip(0.5 + np.random.default_rng(1).normal(0, 0.02, 200), 0, 1)
+        error = TwoLevelContentionPredictor.evaluate_ewma_error(series)
+        assert error < 0.05

@@ -1,0 +1,151 @@
+"""Tests for the long-term utilization model, history index, and features."""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.prediction.features import FeatureEncoder, HistoryIndex
+from repro.prediction.utilization_model import (
+    LongTermUtilizationModel,
+    NoOversubscriptionModel,
+    OracleUtilizationModel,
+)
+from repro.trace.timeseries import SLOTS_PER_DAY, TimeWindowConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_model(small_trace):
+    history, _ = small_trace.split_at(7 * SLOTS_PER_DAY)
+    model = LongTermUtilizationModel(n_estimators=5, max_depth=8, random_state=0)
+    model.fit(history.long_running().vms)
+    return model
+
+
+@pytest.fixture(scope="module")
+def future_vms(small_trace):
+    _, future = small_trace.split_at(7 * SLOTS_PER_DAY)
+    vms = [vm for vm in future.vms if vm.has_utilization()]
+    assert vms
+    return vms
+
+
+class TestHistoryIndex:
+    def test_lookup_levels(self, small_trace):
+        windows = TimeWindowConfig(4)
+        history_vms = small_trace.long_running().vms
+        index = HistoryIndex.build(history_vms, windows)
+        vm = history_vms[0]
+        group, level = index.lookup(vm)
+        assert level == 2
+        assert group.n_vms >= 1
+
+    def test_global_fallback(self, small_trace):
+        windows = TimeWindowConfig(4)
+        index = HistoryIndex.build(small_trace.long_running().vms, windows)
+        stranger = small_trace.vms[0]
+        stranger = type(stranger)(
+            vm_id="stranger", subscription_id="unknown-sub", config=stranger.config,
+            cluster_id=stranger.cluster_id, start_slot=stranger.start_slot,
+            end_slot=stranger.end_slot, utilization=stranger.utilization)
+        group, level = index.lookup(stranger)
+        assert level == 0
+        assert not index.has_history(stranger)
+
+    def test_window_mean_peak_shape(self, small_trace):
+        windows = TimeWindowConfig(6)
+        index = HistoryIndex.build(small_trace.long_running().vms, windows)
+        group = index.global_history
+        for resource in ALL_RESOURCES:
+            assert group.window_mean_peak[resource].shape == (windows.windows_per_day,)
+
+
+class TestFeatureEncoder:
+    def test_feature_vector_length(self, small_trace):
+        windows = TimeWindowConfig(4)
+        encoder = FeatureEncoder(windows, Resource.MEMORY)
+        index = HistoryIndex.build(small_trace.long_running().vms, windows)
+        vm = small_trace.vms[0]
+        features = encoder.encode(vm, 0, index)
+        assert features.shape == (encoder.n_features,)
+        assert len(encoder.feature_names()) == encoder.n_features
+
+    def test_all_windows_matrix(self, small_trace):
+        windows = TimeWindowConfig(4)
+        encoder = FeatureEncoder(windows, Resource.CPU)
+        matrix = encoder.encode_all_windows(small_trace.vms[0], None)
+        assert matrix.shape == (windows.windows_per_day, encoder.n_features)
+        # Window index column differs across rows.
+        window_column = encoder.feature_names().index("window_index")
+        assert list(matrix[:, window_column]) == list(range(windows.windows_per_day))
+
+
+class TestLongTermModel:
+    def test_prediction_shapes_and_ranges(self, fitted_model, future_vms):
+        prediction = fitted_model.predict(future_vms[0])
+        n_windows = fitted_model.windows.windows_per_day
+        for resource in ALL_RESOURCES:
+            assert prediction.percentile[resource].shape == (n_windows,)
+            assert prediction.maximum[resource].shape == (n_windows,)
+            assert np.all(prediction.percentile[resource] >= 0)
+            assert np.all(prediction.maximum[resource] <= 1)
+
+    def test_maximum_dominates_percentile(self, fitted_model, future_vms):
+        for vm in future_vms[:10]:
+            prediction = fitted_model.predict(vm)
+            for resource in ALL_RESOURCES:
+                assert np.all(prediction.maximum[resource] + 1e-9
+                              >= prediction.percentile[resource])
+
+    def test_predictions_are_bucketized(self, fitted_model, future_vms):
+        prediction = fitted_model.predict(future_vms[0])
+        for resource in ALL_RESOURCES:
+            for value in prediction.percentile[resource]:
+                assert abs(value / 0.05 - round(value / 0.05)) < 1e-6
+
+    def test_reasonable_memory_accuracy(self, fitted_model, future_vms):
+        """Predicted memory percentile should be in the neighbourhood of truth."""
+        oracle = OracleUtilizationModel(fitted_model.windows, fitted_model.percentile)
+        errors = []
+        for vm in future_vms:
+            if vm.lifetime_days < 1.0:
+                continue
+            predicted = fitted_model.predict(vm)
+            actual = oracle.predict(vm)
+            errors.append(np.mean(np.abs(predicted.percentile[Resource.MEMORY]
+                                         - actual.percentile[Resource.MEMORY])))
+        assert errors, "need long-running future VMs"
+        assert float(np.mean(errors)) < 0.30
+
+    def test_training_report_populated(self, fitted_model):
+        report = fitted_model.report
+        assert report.n_training_vms > 0
+        assert report.training_seconds > 0
+        assert report.model_size_bytes > 0
+
+    def test_unfitted_model_raises(self, small_trace):
+        model = LongTermUtilizationModel(n_estimators=2)
+        with pytest.raises(RuntimeError):
+            model.predict(small_trace.vms[0])
+
+    def test_empty_training_set_rejected(self):
+        model = LongTermUtilizationModel(n_estimators=2)
+        with pytest.raises(ValueError):
+            model.fit([])
+
+
+class TestBaselineModels:
+    def test_oracle_matches_series_statistics(self, small_trace, long_running_vm):
+        windows = TimeWindowConfig(4)
+        oracle = OracleUtilizationModel(windows, 95.0)
+        prediction = oracle.predict(long_running_vm)
+        series = long_running_vm.series(Resource.MEMORY)
+        expected = series.lifetime_window_max(windows)
+        expected = np.where(np.isnan(expected), series.maximum(), expected)
+        np.testing.assert_allclose(prediction.maximum[Resource.MEMORY], expected, atol=1e-9)
+
+    def test_no_oversubscription_model_predicts_full(self, small_trace):
+        model = NoOversubscriptionModel(TimeWindowConfig(24))
+        prediction = model.predict(small_trace.vms[0])
+        assert not prediction.oversubscribable
+        for resource in ALL_RESOURCES:
+            assert np.all(prediction.percentile[resource] == 1.0)

@@ -1,0 +1,155 @@
+"""Tests for the workload models, performance model, and scenario runners."""
+
+import pytest
+
+from repro.workloads import (
+    MemoryConfiguration,
+    WORKLOADS,
+    figure18_configurations,
+    pa_va_sweep,
+    run_figure18,
+    run_mitigation_scenario,
+    slowdown,
+    summarize_results,
+    total_allocated_memory,
+    va_access_fraction,
+    workload,
+)
+from repro.workloads.base import KeyMetric
+
+
+class TestSuite:
+    def test_nine_workloads(self):
+        assert len(WORKLOADS) == 9
+
+    def test_key_metrics_match_table2(self):
+        assert workload("cache").key_metric is KeyMetric.TAIL_LATENCY
+        assert workload("bigdata").key_metric is KeyMetric.RUN_TIME
+        assert workload("web").key_metric is KeyMetric.THROUGHPUT
+        assert workload("llm-ft").key_metric is KeyMetric.RUN_TIME
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("spark")
+
+    def test_baseline_values_from_paper(self):
+        assert workload("kvstore").baseline_value == pytest.approx(0.41)
+        assert workload("database").baseline_value == pytest.approx(40.0)
+        assert workload("llm-ft").baseline_value == pytest.approx(3.7)
+
+
+class TestPerformanceModel:
+    def test_fully_guaranteed_has_no_slowdown(self):
+        config = MemoryConfiguration("gpvm", pa_gb=32.0, va_gb=0.0)
+        for profile in WORKLOADS.values():
+            assert slowdown(profile, config) == pytest.approx(1.0)
+
+    def test_va_access_zero_when_pa_covers_working_set(self):
+        profile = workload("cache")
+        config = MemoryConfiguration("cvm", pa_gb=profile.working_set_gb + 2, va_gb=10.0)
+        assert va_access_fraction(profile, config) == 0.0
+
+    def test_va_access_grows_with_spill(self):
+        profile = workload("database")
+        small = MemoryConfiguration("a", pa_gb=profile.working_set_gb - 2, va_gb=16.0)
+        large = MemoryConfiguration("b", pa_gb=profile.working_set_gb - 8, va_gb=16.0)
+        assert va_access_fraction(profile, large) > va_access_fraction(profile, small)
+
+    def test_unbacked_memory_much_worse_than_backed(self):
+        profile = workload("cache")
+        backed = MemoryConfiguration("backed", pa_gb=4.0, va_gb=28.0,
+                                     va_backing_fraction=1.0)
+        unbacked = MemoryConfiguration("unbacked", pa_gb=4.0, va_gb=28.0,
+                                       va_backing_fraction=0.0)
+        assert slowdown(profile, unbacked) > 2 * slowdown(profile, backed)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryConfiguration("bad", pa_gb=-1.0, va_gb=4.0).validate()
+        with pytest.raises(ValueError):
+            MemoryConfiguration("bad", pa_gb=0.0, va_gb=0.0).validate()
+
+    def test_total_allocated_memory(self):
+        config = MemoryConfiguration("x", pa_gb=16.0, va_gb=16.0, va_backing_fraction=0.75)
+        assert total_allocated_memory(config) == pytest.approx(28.0)
+
+
+class TestFigure18:
+    def test_configuration_set(self):
+        configs = figure18_configurations(workload("cache"))
+        names = [c.name for c in configs]
+        assert names == ["gpvm", "cvm", "cvm-floor", "ovm"]
+        assert configs[0].pa_gb == 32.0 and configs[-1].pa_gb == 0.0
+
+    def test_figure18_ordering_matches_paper(self):
+        """GPVM <= CVM << OVM, and CVM stays within ~15% of the baseline."""
+        table = summarize_results(run_figure18())
+        for name, row in table.items():
+            assert row["gpvm"] == pytest.approx(1.0)
+            assert row["cvm"] <= 1.25
+            assert row["ovm"] >= row["cvm"] - 1e-9
+        # Tail-latency workloads are the most sensitive to full oversubscription.
+        assert table["kvstore"]["ovm"] > table["web"]["ovm"]
+        assert table["cache"]["ovm"] > table["graph"]["ovm"]
+
+    def test_under_allocation_hurts_latency_workloads_most(self):
+        table = summarize_results(run_figure18())
+        assert table["kvstore"]["cvm-floor"] > 1.5
+        assert table["cache"]["cvm-floor"] > 1.5
+        assert table["web"]["cvm-floor"] < 1.3
+
+
+class TestFigure15Sweep:
+    def test_sweep_shape_and_validity(self):
+        points = pa_va_sweep(step_gb=8.0)
+        assert points
+        for point in points:
+            assert 0 < point.pa_gb + point.va_gb <= 32.0 + 1e-9
+            assert point.slowdown >= 1.0
+
+    def test_full_pa_has_no_slowdown_and_no_savings(self):
+        points = {(p.pa_gb, p.va_gb): p for p in pa_va_sweep(step_gb=8.0)}
+        full_pa = points[(32.0, 0.0)]
+        assert full_pa.slowdown == pytest.approx(1.0)
+        assert full_pa.allocated_gb == pytest.approx(32.0)
+
+    def test_insufficient_memory_region_is_red(self):
+        """Configurations with less memory than the working set thrash."""
+        points = {(p.pa_gb, p.va_gb): p for p in pa_va_sweep(step_gb=8.0)}
+        assert points[(8.0, 0.0)].slowdown > 5.0
+
+    def test_splitting_saves_memory(self):
+        points = {(p.pa_gb, p.va_gb): p for p in pa_va_sweep(step_gb=8.0)}
+        split = points[(16.0, 16.0)]
+        assert split.allocated_gb < 32.0
+
+
+class TestMitigationScenario:
+    def test_none_policy_fails_to_recover(self):
+        timeline = run_mitigation_scenario("none", interval_seconds=20.0)
+        assert min(timeline.available_oversub_gb) == pytest.approx(0.0, abs=1e-6)
+        assert not timeline.recovered()
+        assert timeline.peak_slowdown("cache") > 1.5
+
+    def test_extend_recovers_second_contention(self):
+        timeline = run_mitigation_scenario("extend-proactive", interval_seconds=20.0)
+        assert timeline.recovered()
+
+    def test_migrate_frees_the_most_memory(self):
+        extend = run_mitigation_scenario("extend-proactive", interval_seconds=20.0)
+        migrate = run_mitigation_scenario("migrate-proactive", interval_seconds=20.0)
+        assert migrate.available_oversub_gb[-1] >= extend.available_oversub_gb[-1]
+
+    def test_mitigation_reduces_peak_slowdown(self):
+        none_timeline = run_mitigation_scenario("none", interval_seconds=20.0)
+        extend_timeline = run_mitigation_scenario("extend-proactive", interval_seconds=20.0)
+        assert (extend_timeline.peak_slowdown("kvstore")
+                <= none_timeline.peak_slowdown("kvstore") + 1e-9)
+
+    def test_timeline_lengths_consistent(self):
+        timeline = run_mitigation_scenario("trim-reactive", duration_seconds=200.0,
+                                           interval_seconds=20.0)
+        n = len(timeline.times_seconds)
+        assert n == 10
+        assert len(timeline.available_oversub_gb) == n
+        assert all(len(series) == n for series in timeline.slowdown.values())
