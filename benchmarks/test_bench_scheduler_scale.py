@@ -1,0 +1,81 @@
+"""Placement throughput of the vectorized scheduler at production scale.
+
+Packs >=5000 VM plans onto a 200-server cluster with the matrix-form
+:class:`ClusterScheduler` and compares plans/second against the seed
+per-server loop (:class:`ReferenceLoopScheduler`).  The reference is timed on
+a prefix of the same arrival sequence -- its per-plan cost is dominated by
+the full server scan, so a prefix is representative -- to keep the suite's
+wall-clock time bounded.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.scheduler import ClusterScheduler, ReferenceLoopScheduler
+from repro.core.windows import plan_vm
+from repro.prediction.utilization_model import WindowUtilizationPrediction
+from repro.trace.hardware import ClusterConfig
+from repro.trace.timeseries import TimeWindowConfig
+
+N_PLANS = 5000
+REFERENCE_PLANS = 300
+WINDOWS = TimeWindowConfig(4)
+
+SCALE_CLUSTER = ClusterConfig(
+    "SCALE", "bench",
+    (("gen4-intel", 60), ("gen5-intel", 50), ("gen6-amd", 50), ("gen7-amd", 40)))
+
+
+def _build_plans(n, seed=7):
+    rng = np.random.default_rng(seed)
+    w = WINDOWS.windows_per_day
+    plans = []
+    for i in range(n):
+        maximum = {r: rng.uniform(0.1, 0.9, w) for r in ALL_RESOURCES}
+        percentile = {r: np.minimum(maximum[r], rng.uniform(0.05, 0.7, w))
+                      for r in ALL_RESOURCES}
+        prediction = WindowUtilizationPrediction(
+            windows=WINDOWS, percentile=percentile, maximum=maximum)
+        cores = float(rng.choice([1, 2, 2, 4, 4, 8]))
+        allocation = {Resource.CPU: cores, Resource.MEMORY: cores * 4.0,
+                      Resource.NETWORK: min(0.5 * cores, 16.0),
+                      Resource.SSD: 32.0 * cores}
+        plans.append(plan_vm(f"vm-{i}", allocation, prediction, oversubscribe=True))
+    return plans
+
+
+def _place_all(plans):
+    scheduler = ClusterScheduler(SCALE_CLUSTER, WINDOWS)
+    start = time.perf_counter()
+    for plan in plans:
+        scheduler.place(plan)
+    elapsed = time.perf_counter() - start
+    return scheduler, elapsed
+
+
+def test_vectorized_scheduler_scale_throughput(benchmark):
+    plans = _build_plans(N_PLANS)
+    assert SCALE_CLUSTER.server_count >= 200
+
+    scheduler, vectorized_seconds = run_once(benchmark, _place_all, plans)
+    vectorized_rate = N_PLANS / vectorized_seconds
+
+    reference = ReferenceLoopScheduler(SCALE_CLUSTER, WINDOWS)
+    start = time.perf_counter()
+    for plan in plans[:REFERENCE_PLANS]:
+        reference.place(plan)
+    reference_rate = REFERENCE_PLANS / (time.perf_counter() - start)
+
+    speedup = vectorized_rate / reference_rate
+    print(f"\nScheduler scale ({SCALE_CLUSTER.server_count} servers, {N_PLANS} plans):")
+    print(f"  vectorized {vectorized_rate:8.0f} plans/s "
+          f"({scheduler.accepted_count()} accepted, {scheduler.rejected_count()} rejected)")
+    print(f"  seed loop  {reference_rate:8.0f} plans/s (prefix of {REFERENCE_PLANS})")
+    print(f"  speedup    {speedup:8.1f}x")
+
+    # The workload must genuinely fill the cluster, not bounce off a wall.
+    assert scheduler.accepted_count() >= 1000
+    assert speedup >= 5.0

@@ -14,43 +14,212 @@ Two admission checks are provided:
   plus the multiplexed VA pool (Eq. 3 + Eq. 4) must fit.  This is the default
   because it guarantees the server never commits more physical memory than it
   has.
+
+Matrix-form bookkeeping
+-----------------------
+
+Scheduling-time state lives in a :class:`ClusterLedger` owned by the
+:class:`ClusterScheduler`, not in per-server dictionaries:
+
+* ``demand`` -- one ``(n_servers, n_windows)`` committed-demand matrix per
+  resource, stored as a single ``(n_resources, n_servers, n_windows)`` array;
+* ``pa_memory`` -- an ``(n_servers,)`` vector of committed guaranteed (PA)
+  memory;
+* ``va_demand`` -- an ``(n_servers, n_windows)`` matrix of committed
+  oversubscribed (VA) demand.
+
+``ClusterScheduler.place`` evaluates both admission checks and the best-fit
+packing score for *every server at once* with a handful of broadcasted numpy
+operations, instead of looping over servers and re-running per-resource
+checks.  ``commit``/``release`` are row updates.  The arithmetic is the same
+as the per-server formulation, so placement decisions are identical to the
+reference loop (see :class:`ReferenceLoopScheduler`, kept for differential
+testing and benchmarking); only the evaluation order changes, turning the
+per-VM placement cost from O(servers x resources x windows) Python iterations
+into a few dense matrix operations.
+
+:class:`ServerAccount` remains the public per-server API, but is now a thin
+view over one ledger row; accounts constructed standalone get a private
+single-row ledger, so existing callers and tests keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.resources import ALL_RESOURCES, Resource, ResourceVector, is_fungible
+from repro.core.resources import ALL_RESOURCES, Resource, ResourceVector
 from repro.core.windows import VMResourcePlan
 from repro.trace.hardware import ClusterConfig, ServerConfig
 from repro.trace.timeseries import TimeWindowConfig
 
+#: Tolerance used by the admission checks (matches the seed implementation).
+FIT_EPSILON = 1e-6
+#: Residues at or below this magnitude after a release are snapped to zero so
+#: repeated commit/release churn cannot accumulate float drift.
+RESIDUE_EPSILON = 1e-9
 
-@dataclass
+#: Index of the memory resource inside ``ALL_RESOURCES``-ordered arrays.
+_MEMORY_INDEX = ALL_RESOURCES.index(Resource.MEMORY)
+_NON_MEMORY_INDICES = np.array(
+    [i for i, r in enumerate(ALL_RESOURCES) if r is not Resource.MEMORY])
+
+
+def plan_demand_matrix(plan: VMResourcePlan) -> np.ndarray:
+    """Stack a plan's per-resource window demands, shape ``(n_resources, n_windows)``."""
+    return np.stack([plan.plans[r].window_demand for r in ALL_RESOURCES])
+
+
+class ClusterLedger:
+    """Cluster-level matrix bookkeeping of committed scheduling demand.
+
+    One row per server.  All state the admission checks and the packing score
+    need is kept in dense arrays so the scheduler can evaluate every server
+    in one vectorized pass.
+    """
+
+    __slots__ = ("windows", "n_servers", "n_windows", "capacity", "demand",
+                 "pa_memory", "va_demand")
+
+    def __init__(self, server_configs: Sequence[ServerConfig],
+                 windows: TimeWindowConfig):
+        self.windows = windows
+        self.n_servers = len(server_configs)
+        self.n_windows = windows.windows_per_day
+        capacity = np.zeros((len(ALL_RESOURCES), self.n_servers))
+        for column, config in enumerate(server_configs):
+            vector = config.capacity_vector()
+            for row, resource in enumerate(ALL_RESOURCES):
+                capacity[row, column] = vector[resource]
+        self.capacity = capacity
+        self.demand = np.zeros((len(ALL_RESOURCES), self.n_servers, self.n_windows))
+        self.pa_memory = np.zeros(self.n_servers)
+        self.va_demand = np.zeros((self.n_servers, self.n_windows))
+
+    # ------------------------------------------------------------------ #
+    # Vectorized admission checks and packing score
+    # ------------------------------------------------------------------ #
+    def hypothetical_demand(self, plan_demand: np.ndarray) -> np.ndarray:
+        """Committed demand as if *plan_demand* were placed on every server.
+
+        The ``(n_resources, n_servers, n_windows)`` array is the dominant
+        per-placement allocation, so ``place()`` computes it once and feeds
+        it to both the admission masks and the packing scores.
+        """
+        return self.demand + plan_demand[:, None, :]
+
+    def fit_masks(self, plan_demand: np.ndarray, guaranteed_memory_gb: float,
+                  va_window_demand: np.ndarray,
+                  hypothetical: Optional[np.ndarray] = None) -> tuple:
+        """Evaluate both admission checks for every server at once.
+
+        Returns ``(vector_ok, backing_ok)`` boolean arrays of shape
+        ``(n_servers,)`` with the same semantics as
+        :meth:`ServerAccount.fits_vector_check` and
+        :meth:`ServerAccount.fits_backing_check`.
+        """
+        if hypothetical is None:
+            hypothetical = self.hypothetical_demand(plan_demand)
+        window_ok = np.all(hypothetical <= self.capacity[:, :, None] + FIT_EPSILON,
+                           axis=2)
+        capacity_memory = self.capacity[_MEMORY_INDEX]
+        new_pa = self.pa_memory + guaranteed_memory_gb
+        vector_ok = window_ok.all(axis=0) & (new_pa <= capacity_memory + FIT_EPSILON)
+        new_va = (self.va_demand + va_window_demand[None, :]).max(axis=1)
+        backing_ok = (np.all(window_ok[_NON_MEMORY_INDICES], axis=0)
+                      & (new_pa + new_va <= capacity_memory + FIT_EPSILON))
+        return vector_ok, backing_ok
+
+    def packing_scores(self, plan_demand: Optional[np.ndarray] = None,
+                       hypothetical: Optional[np.ndarray] = None) -> np.ndarray:
+        """Best-fit packing score of every server, shape ``(n_servers,)``.
+
+        Same semantics as :meth:`ServerAccount.packing_score`: the committed
+        fraction of capacity, averaged over windows and over the resources
+        with positive capacity, optionally as if *plan_demand* were committed.
+        The mean is taken over the summed demand (not split into per-term
+        means) so the scores stay bitwise-identical to the per-server loop.
+        """
+        if hypothetical is None:
+            hypothetical = (self.demand if plan_demand is None
+                            else self.hypothetical_demand(plan_demand))
+        means = hypothetical.mean(axis=2)
+        positive = self.capacity > 0
+        ratios = np.where(positive, means / np.where(positive, self.capacity, 1.0), 0.0)
+        counts = positive.sum(axis=0)
+        return ratios.sum(axis=0) / np.maximum(counts, 1)
+
+    # ------------------------------------------------------------------ #
+    # Row updates
+    # ------------------------------------------------------------------ #
+    def commit_row(self, row: int, plan: VMResourcePlan) -> None:
+        for index, resource in enumerate(ALL_RESOURCES):
+            self.demand[index, row, :] += plan.plans[resource].window_demand
+        memory_plan = plan.plans[Resource.MEMORY]
+        self.pa_memory[row] += memory_plan.guaranteed
+        self.va_demand[row, :] += memory_plan.window_oversubscribed
+
+    def release_row(self, row: int, plan: VMResourcePlan) -> None:
+        """Subtract a plan from a row, snapping near-zero residues to zero.
+
+        ``commit`` adds and ``release`` subtracts floats in whatever order
+        plans churn through the server, so exact cancellation is not
+        guaranteed; without the snap, residues of a few ULPs accumulate and
+        make servers look permanently fuller than they are.
+        """
+        for index, resource in enumerate(ALL_RESOURCES):
+            line = self.demand[index, row]
+            line -= plan.plans[resource].window_demand
+            np.maximum(line, 0.0, out=line)
+            line[line <= RESIDUE_EPSILON] = 0.0
+        memory_plan = plan.plans[Resource.MEMORY]
+        new_pa = self.pa_memory[row] - memory_plan.guaranteed
+        self.pa_memory[row] = 0.0 if new_pa <= RESIDUE_EPSILON else new_pa
+        va = self.va_demand[row]
+        va -= memory_plan.window_oversubscribed
+        np.maximum(va, 0.0, out=va)
+        va[va <= RESIDUE_EPSILON] = 0.0
+
+    def assert_row_empty(self, row: int) -> None:
+        """Verify a row carries no demand (called when its last plan leaves)."""
+        residue = max(float(self.demand[:, row].max(initial=0.0)),
+                      float(self.pa_memory[row]),
+                      float(self.va_demand[row].max(initial=0.0)))
+        if residue > FIT_EPSILON:
+            raise AssertionError(
+                f"server row {row} still carries {residue:g} committed demand "
+                "after its last plan was released")
+        self.demand[:, row, :] = 0.0
+        self.pa_memory[row] = 0.0
+        self.va_demand[row, :] = 0.0
+
+
 class ServerAccount:
-    """Scheduling-time bookkeeping of the plans committed to one server."""
+    """Scheduling-time bookkeeping of the plans committed to one server.
 
-    server_id: str
-    config: ServerConfig
-    windows: TimeWindowConfig
-    #: Per-resource committed demand per window, shape (n_windows,).
-    window_demand: Dict[Resource, np.ndarray] = field(default_factory=dict)
-    #: Committed guaranteed (PA) memory in GB.
-    pa_memory_gb: float = 0.0
-    #: Per-window committed oversubscribed (VA) memory demand in GB.
-    va_window_demand: np.ndarray = field(default_factory=lambda: np.zeros(0))
-    #: Plans currently placed on this server, keyed by VM id.
-    plans: Dict[str, VMResourcePlan] = field(default_factory=dict)
+    A thin view over one row of a :class:`ClusterLedger`.  Accounts created
+    standalone (outside a :class:`ClusterScheduler`) own a private single-row
+    ledger, which preserves the original standalone API.
+    """
 
-    def __post_init__(self) -> None:
-        n = self.windows.windows_per_day
-        if not self.window_demand:
-            self.window_demand = {r: np.zeros(n) for r in ALL_RESOURCES}
-        if self.va_window_demand.size == 0:
-            self.va_window_demand = np.zeros(n)
+    __slots__ = ("server_id", "config", "windows", "plans", "_ledger", "_row")
+
+    def __init__(self, server_id: str, config: ServerConfig,
+                 windows: TimeWindowConfig,
+                 ledger: Optional[ClusterLedger] = None, row: int = 0):
+        self.server_id = server_id
+        self.config = config
+        self.windows = windows
+        if ledger is None:
+            ledger = ClusterLedger([config], windows)
+            row = 0
+        self._ledger = ledger
+        self._row = row
+        #: Plans currently placed on this server, keyed by VM id.
+        self.plans: Dict[str, VMResourcePlan] = {}
 
     # ------------------------------------------------------------------ #
     # Capacity accessors
@@ -60,9 +229,26 @@ class ServerAccount:
         return self.config.capacity_vector()
 
     @property
+    def window_demand(self) -> Dict[Resource, np.ndarray]:
+        """Per-resource committed demand per window (views into the ledger)."""
+        return {r: self._ledger.demand[i, self._row]
+                for i, r in enumerate(ALL_RESOURCES)}
+
+    @property
+    def pa_memory_gb(self) -> float:
+        """Committed guaranteed (PA) memory in GB."""
+        return float(self._ledger.pa_memory[self._row])
+
+    @property
+    def va_window_demand(self) -> np.ndarray:
+        """Per-window committed oversubscribed (VA) memory demand in GB."""
+        return self._ledger.va_demand[self._row]
+
+    @property
     def va_backing_gb(self) -> float:
         """Physical memory reserved for the oversubscribed pool (Eq. 4)."""
-        return float(self.va_window_demand.max()) if self.va_window_demand.size else 0.0
+        va = self.va_window_demand
+        return float(va.max()) if va.size else 0.0
 
     @property
     def committed_memory_backing_gb(self) -> float:
@@ -82,26 +268,28 @@ class ServerAccount:
     def fits_vector_check(self, plan: VMResourcePlan) -> bool:
         """The paper's windows-plus-one vector check."""
         capacity = self.capacity
+        window_demand = self.window_demand
         for resource in ALL_RESOURCES:
             demand = plan.plans[resource].window_demand
-            if np.any(self.window_demand[resource] + demand > capacity[resource] + 1e-6):
+            if np.any(window_demand[resource] + demand > capacity[resource] + FIT_EPSILON):
                 return False
         new_pa = self.pa_memory_gb + plan.plans[Resource.MEMORY].guaranteed
-        return new_pa <= capacity[Resource.MEMORY] + 1e-6
+        return new_pa <= capacity[Resource.MEMORY] + FIT_EPSILON
 
     def fits_backing_check(self, plan: VMResourcePlan) -> bool:
         """Conservative check: physical PA + multiplexed VA backing must fit."""
         capacity = self.capacity
+        window_demand = self.window_demand
         for resource in ALL_RESOURCES:
             if resource is Resource.MEMORY:
                 continue
             demand = plan.plans[resource].window_demand
-            if np.any(self.window_demand[resource] + demand > capacity[resource] + 1e-6):
+            if np.any(window_demand[resource] + demand > capacity[resource] + FIT_EPSILON):
                 return False
         memory_plan = plan.plans[Resource.MEMORY]
         new_pa = self.pa_memory_gb + memory_plan.guaranteed
         new_va = float((self.va_window_demand + memory_plan.window_oversubscribed).max())
-        return new_pa + new_va <= capacity[Resource.MEMORY] + 1e-6
+        return new_pa + new_va <= capacity[Resource.MEMORY] + FIT_EPSILON
 
     def can_fit(self, plan: VMResourcePlan, conservative: bool = True) -> bool:
         if plan.windows.windows_per_day != self.windows.windows_per_day:
@@ -116,12 +304,7 @@ class ServerAccount:
     def commit(self, plan: VMResourcePlan) -> None:
         if plan.vm_id in self.plans:
             raise ValueError(f"VM {plan.vm_id} already placed on {self.server_id}")
-        for resource in ALL_RESOURCES:
-            self.window_demand[resource] = (self.window_demand[resource]
-                                            + plan.plans[resource].window_demand)
-        memory_plan = plan.plans[Resource.MEMORY]
-        self.pa_memory_gb += memory_plan.guaranteed
-        self.va_window_demand = self.va_window_demand + memory_plan.window_oversubscribed
+        self._ledger.commit_row(self._row, plan)
         self.plans[plan.vm_id] = plan
 
     def release(self, vm_id: str) -> VMResourcePlan:
@@ -129,13 +312,9 @@ class ServerAccount:
             plan = self.plans.pop(vm_id)
         except KeyError as exc:
             raise KeyError(f"VM {vm_id} is not placed on {self.server_id}") from exc
-        for resource in ALL_RESOURCES:
-            self.window_demand[resource] = np.maximum(
-                0.0, self.window_demand[resource] - plan.plans[resource].window_demand)
-        memory_plan = plan.plans[Resource.MEMORY]
-        self.pa_memory_gb = max(0.0, self.pa_memory_gb - memory_plan.guaranteed)
-        self.va_window_demand = np.maximum(
-            0.0, self.va_window_demand - memory_plan.window_oversubscribed)
+        self._ledger.release_row(self._row, plan)
+        if not self.plans:
+            self._ledger.assert_row_empty(self._row)
         return plan
 
     # ------------------------------------------------------------------ #
@@ -150,9 +329,10 @@ class ServerAccount:
         onto fewer servers.
         """
         capacity = self.capacity
+        window_demand = self.window_demand
         scores = []
         for resource in ALL_RESOURCES:
-            demand = self.window_demand[resource].copy()
+            demand = window_demand[resource]
             if plan is not None:
                 demand = demand + plan.plans[resource].window_demand
             if capacity[resource] > 0:
@@ -174,42 +354,66 @@ class PlacementDecision:
 
 
 class ClusterScheduler:
-    """Best-fit scheduler over the servers of one cluster."""
+    """Best-fit scheduler over the servers of one cluster.
+
+    Placement is fully vectorized: both admission checks and the best-fit
+    packing score are evaluated for all servers in one pass over the
+    :class:`ClusterLedger` matrices.  Ties on the packing score resolve to
+    the lowest server index, matching the reference per-server loop.
+
+    ``decisions`` keeps only the most recent *decision_history* outcomes (a
+    diagnostic ring); accept/reject totals are running counters, so neither
+    grows with the number of placements.
+    """
 
     def __init__(self, cluster: ClusterConfig, windows: TimeWindowConfig,
-                 conservative: bool = True):
+                 conservative: bool = True, decision_history: int = 256):
         self.cluster = cluster
         self.windows = windows
         self.conservative = conservative
+        server_configs = cluster.server_configs()
+        self.ledger = ClusterLedger(server_configs, windows)
         self.servers: Dict[str, ServerAccount] = {}
-        for index, server_config in enumerate(cluster.server_configs()):
+        self._accounts: List[ServerAccount] = []
+        for index, server_config in enumerate(server_configs):
             server_id = f"{cluster.cluster_id}-s{index:03d}"
-            self.servers[server_id] = ServerAccount(server_id, server_config, windows)
+            account = ServerAccount(server_id, server_config, windows,
+                                    ledger=self.ledger, row=index)
+            self.servers[server_id] = account
+            self._accounts.append(account)
         self._placements: Dict[str, str] = {}
-        self.decisions: List[PlacementDecision] = []
+        self._accepted = 0
+        self._rejected = 0
+        self.decisions: Deque[PlacementDecision] = deque(maxlen=max(0, decision_history))
 
     # ------------------------------------------------------------------ #
     # Placement
     # ------------------------------------------------------------------ #
     def place(self, plan: VMResourcePlan) -> PlacementDecision:
         """Place a VM plan on the best-fitting server (fullest that still fits)."""
-        best_server: Optional[ServerAccount] = None
-        best_score = -1.0
-        for server in self.servers.values():
-            if not server.can_fit(plan, self.conservative):
-                continue
-            score = server.packing_score(plan)
-            if score > best_score:
-                best_score = score
-                best_server = server
+        if plan.windows.windows_per_day != self.windows.windows_per_day:
+            raise ValueError("plan and server use different time window configurations")
+        plan_demand = plan_demand_matrix(plan)
+        memory_plan = plan.plans[Resource.MEMORY]
+        hypothetical = self.ledger.hypothetical_demand(plan_demand)
+        vector_ok, backing_ok = self.ledger.fit_masks(
+            plan_demand, memory_plan.guaranteed, memory_plan.window_oversubscribed,
+            hypothetical=hypothetical)
+        mask = (vector_ok & backing_ok) if self.conservative else vector_ok
 
-        if best_server is None:
+        if not mask.any():
             decision = PlacementDecision(plan.vm_id, False, None, "no server fits")
+            self._rejected += 1
         else:
-            best_server.commit(plan)
-            self._placements[plan.vm_id] = best_server.server_id
-            decision = PlacementDecision(plan.vm_id, True, best_server.server_id)
-        self.decisions.append(decision)
+            scores = np.where(
+                mask, self.ledger.packing_scores(hypothetical=hypothetical), -np.inf)
+            best = self._accounts[int(np.argmax(scores))]
+            best.commit(plan)
+            self._placements[plan.vm_id] = best.server_id
+            decision = PlacementDecision(plan.vm_id, True, best.server_id)
+            self._accepted += 1
+        if self.decisions.maxlen:
+            self.decisions.append(decision)
         return decision
 
     def deallocate(self, vm_id: str) -> None:
@@ -225,19 +429,19 @@ class ClusterScheduler:
     # Cluster-level statistics
     # ------------------------------------------------------------------ #
     def accepted_count(self) -> int:
-        return sum(1 for d in self.decisions if d.accepted)
+        return self._accepted
 
     def rejected_count(self) -> int:
-        return sum(1 for d in self.decisions if not d.accepted)
+        return self._rejected
 
     def servers_in_use(self) -> int:
-        return sum(1 for s in self.servers.values() if not s.is_empty())
+        return sum(1 for s in self._accounts if not s.is_empty())
 
     def total_allocated_request(self, resource: Resource) -> float:
-        return float(sum(s.allocated_request(resource) for s in self.servers.values()))
+        return float(sum(s.allocated_request(resource) for s in self._accounts))
 
     def total_capacity(self, resource: Resource) -> float:
-        return float(sum(s.capacity[resource] for s in self.servers.values()))
+        return float(self.ledger.capacity[ALL_RESOURCES.index(resource)].sum())
 
     def utilization_summary(self) -> Dict[str, float]:
         return {
@@ -246,6 +450,49 @@ class ClusterScheduler:
             "vms_placed": float(len(self._placements)),
             "rejections": float(self.rejected_count()),
         }
+
+
+class ReferenceLoopScheduler:
+    """The seed per-server-loop best-fit scheduler.
+
+    Kept as the differential-testing and benchmarking reference: it iterates
+    every :class:`ServerAccount` and re-runs the scalar admission checks and
+    packing score per server, exactly like the original implementation.
+    :class:`ClusterScheduler` must produce identical placement decisions.
+    """
+
+    def __init__(self, cluster: ClusterConfig, windows: TimeWindowConfig,
+                 conservative: bool = True):
+        self.cluster = cluster
+        self.windows = windows
+        self.conservative = conservative
+        self.servers: Dict[str, ServerAccount] = {}
+        for index, server_config in enumerate(cluster.server_configs()):
+            server_id = f"{cluster.cluster_id}-s{index:03d}"
+            self.servers[server_id] = ServerAccount(server_id, server_config, windows)
+        self._placements: Dict[str, str] = {}
+
+    def place(self, plan: VMResourcePlan) -> PlacementDecision:
+        best_server: Optional[ServerAccount] = None
+        best_score = -1.0
+        for server in self.servers.values():
+            if not server.can_fit(plan, self.conservative):
+                continue
+            score = server.packing_score(plan)
+            if score > best_score:
+                best_score = score
+                best_server = server
+        if best_server is None:
+            return PlacementDecision(plan.vm_id, False, None, "no server fits")
+        best_server.commit(plan)
+        self._placements[plan.vm_id] = best_server.server_id
+        return PlacementDecision(plan.vm_id, True, best_server.server_id)
+
+    def deallocate(self, vm_id: str) -> None:
+        server_id = self._placements.pop(vm_id, None)
+        if server_id is None:
+            return
+        self.servers[server_id].release(vm_id)
 
 
 def schedule_all(scheduler: ClusterScheduler,

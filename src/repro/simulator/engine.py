@@ -14,8 +14,9 @@ estimate contention.  This engine does the same against the synthetic trace:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,21 +83,20 @@ class ClusterSimulation:
         eval_vms.sort(key=lambda vm: (vm.start_slot, vm.vm_id))
 
         # Event-driven replay: before each arrival, release VMs that ended.
-        pending_departures: List[tuple[int, str]] = []
+        # Departures sit in a min-heap keyed by end slot, so each arrival pops
+        # only the VMs that actually depart instead of rescanning the whole
+        # pending list.
+        pending_departures: List[Tuple[int, str]] = []
         for vm in eval_vms:
             self.requested += 1
-            still_pending = []
-            for end_slot, vm_id in pending_departures:
-                if end_slot <= vm.start_slot:
-                    self.manager.deallocate(vm_id)
-                else:
-                    still_pending.append((end_slot, vm_id))
-            pending_departures = still_pending
+            while pending_departures and pending_departures[0][0] <= vm.start_slot:
+                _end_slot, vm_id = heapq.heappop(pending_departures)
+                self.manager.deallocate(vm_id)
 
             result = self.manager.request_vm(vm)
             if result.accepted:
                 self.placed[vm.vm_id] = vm
-                pending_departures.append((vm.end_slot, vm.vm_id))
+                heapq.heappush(pending_departures, (vm.end_slot, vm.vm_id))
 
         violations = self._measure_violations()
         return ClusterRunResult(self.cluster_id, self.manager, dict(self.placed),
@@ -130,16 +130,21 @@ class ClusterSimulation:
                 vm = self.placed.get(vm_id)
                 if vm is None:
                     continue
-                cpu_series = vm.series(Resource.CPU)
-                mem_series = vm.series(Resource.MEMORY)
                 lo = max(vm.start_slot, start)
                 hi = min(vm.end_slot, end)
                 if hi <= lo:
                     continue
-                cpu_demand[lo - start:hi - start] += (
-                    cpu_series.slice_absolute(lo, hi) * vm.allocated(Resource.CPU))
-                mem_demand[lo - start:hi - start] += (
-                    mem_series.slice_absolute(lo, hi) * vm.allocated(Resource.MEMORY))
+                # A series may cover less than [start_slot, end_slot), so the
+                # destination slice must be clamped to the samples actually
+                # returned, not to the VM lifetime.
+                for series, demand, allocated in (
+                        (vm.series(Resource.CPU), cpu_demand, vm.allocated(Resource.CPU)),
+                        (vm.series(Resource.MEMORY), mem_demand, vm.allocated(Resource.MEMORY))):
+                    seg_lo = max(lo, series.start_slot)
+                    seg_hi = min(hi, series.end_slot)
+                    if seg_hi > seg_lo:
+                        demand[seg_lo - start:seg_hi - start] += (
+                            series.slice_absolute(seg_lo, seg_hi) * allocated)
                 occupancy[lo - start:hi - start] = True
 
             occupied = int(occupancy.sum())

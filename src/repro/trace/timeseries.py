@@ -291,13 +291,20 @@ class UtilizationSeries:
         return self.values * float(allocated)
 
     def downsample_max(self, factor: int) -> "UtilizationSeries":
-        """Aggregate *factor* consecutive slots into their maximum."""
+        """Aggregate *factor* consecutive slots into their maximum.
+
+        Groups are aligned to absolute slot boundaries (multiples of
+        *factor*), so a series starting mid-group contributes its samples to
+        the group that actually contains them instead of shifting every
+        window by ``start_slot % factor`` slots.
+        """
         if factor <= 0:
             raise ValueError("factor must be positive")
         n = len(self)
-        n_groups = (n + factor - 1) // factor
+        offset = self.start_slot % factor
+        n_groups = (offset + n + factor - 1) // factor
         padded = np.full(n_groups * factor, -np.inf)
-        padded[:n] = self.values
+        padded[offset:offset + n] = self.values
         grouped = padded.reshape(n_groups, factor).max(axis=1)
         return UtilizationSeries(np.clip(grouped, 0.0, 1.0), self.start_slot // factor)
 

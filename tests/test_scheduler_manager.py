@@ -130,6 +130,54 @@ class TestServerAccount:
         assert not account.fits_backing_check(huge)
 
 
+class TestReleaseDriftRegression:
+    """Repeated commit/release churn must not accumulate float residues."""
+
+    def _random_plan(self, rng, vm_id, windows):
+        n = windows.windows_per_day
+        maximum = {r: rng.uniform(0.1, 1.0, n) for r in ALL_RESOURCES}
+        percentile = {r: np.minimum(maximum[r], rng.uniform(0.05, 0.9, n))
+                      for r in ALL_RESOURCES}
+        prediction = WindowUtilizationPrediction(
+            windows=windows, percentile=percentile, maximum=maximum)
+        allocation = {Resource.CPU: 2.0, Resource.MEMORY: 8.0,
+                      Resource.NETWORK: 1.0, Resource.SSD: 64.0}
+        return plan_vm(vm_id, allocation, prediction, oversubscribe=True)
+
+    def test_thousand_cycle_churn_leaves_account_exactly_empty(self):
+        windows = TimeWindowConfig(4)
+        account = ServerAccount("s0", HARDWARE_GENERATIONS["gen4-intel"], windows)
+        rng = np.random.default_rng(31)
+        resident = self._random_plan(rng, "resident", windows)
+        account.commit(resident)
+        for cycle in range(1000):
+            first = self._random_plan(rng, f"churn-{cycle}-a", windows)
+            second = self._random_plan(rng, f"churn-{cycle}-b", windows)
+            account.commit(first)
+            account.commit(second)
+            # Release in commit order (not LIFO) so the float additions and
+            # subtractions interleave instead of trivially cancelling.
+            account.release(first.vm_id)
+            account.release(second.vm_id)
+        account.release("resident")
+        assert account.is_empty()
+        # Exact zeros, not approximately zero: residues must be snapped.
+        assert account.pa_memory_gb == 0.0
+        assert np.all(account.va_window_demand == 0.0)
+        for resource in ALL_RESOURCES:
+            assert np.all(account.window_demand[resource] == 0.0)
+
+    def test_empty_account_never_looks_partially_full(self):
+        windows = TimeWindowConfig(4)
+        account = ServerAccount("s0", HARDWARE_GENERATIONS["gen4-intel"], windows)
+        rng = np.random.default_rng(77)
+        for cycle in range(200):
+            plan = self._random_plan(rng, f"vm-{cycle}", windows)
+            account.commit(plan)
+            account.release(plan.vm_id)
+            assert account.committed_memory_backing_gb == 0.0
+
+
 class TestClusterScheduler:
     def _scheduler(self, windows=TimeWindowConfig(4)):
         cluster = ClusterConfig("CT", "test", (("gen4-intel", 2),))
@@ -161,6 +209,16 @@ class TestClusterScheduler:
             for i in range(10)])
         assert any(not d.accepted for d in decisions)
         assert scheduler.rejected_count() > 0
+        assert scheduler.accepted_count() + scheduler.rejected_count() == 10
+
+    def test_decision_ring_is_capped_but_counters_are_exact(self):
+        cluster = ClusterConfig("CT", "test", (("gen4-intel", 2),))
+        scheduler = ClusterScheduler(cluster, TimeWindowConfig(4),
+                                     decision_history=4)
+        schedule_all(scheduler, [
+            _plan(f"vm-{i}", TimeWindowConfig(4), memory_gb=64.0, cores=16.0)
+            for i in range(10)])
+        assert len(scheduler.decisions) == 4
         assert scheduler.accepted_count() + scheduler.rejected_count() == 10
 
     def test_capacity_totals(self):

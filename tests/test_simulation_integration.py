@@ -19,8 +19,15 @@ from repro.experiments.overheads import (
     scheduling_overheads,
     training_overheads,
 )
+from repro.core.resources import ALL_RESOURCES
 from repro.prediction.contention import TwoLevelContentionPredictor
+from repro.prediction.utilization_model import NoOversubscriptionModel
 from repro.simulator import SimulationConfig, evaluate_policies, simulate_policy
+from repro.simulator.engine import ClusterSimulation
+from repro.trace.hardware import ClusterConfig, Fleet
+from repro.trace.timeseries import UtilizationSeries
+from repro.trace.trace import Trace
+from repro.trace.vm import VM_CATALOG, VMRecord
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +63,31 @@ class TestClusterSimulation:
         """Without oversubscription, committed backing equals the request, so
         actual demand can never exceed it."""
         result = simulate_policy(small_trace, NO_OVERSUBSCRIPTION_POLICY, sim_config)
+        assert result.violations.memory_violation_fraction == pytest.approx(0.0)
+
+
+class TestTruncatedSeriesReplay:
+    def test_series_shorter_than_lifetime_does_not_crash_violation_replay(self):
+        """A VM whose telemetry covers only part of ``[start_slot, end_slot)``
+        must not break the contention replay with a broadcast-shape mismatch;
+        the uncovered slots simply contribute no demand."""
+        fleet = Fleet(clusters=[ClusterConfig("T1", "test", (("gen4-intel", 1),))])
+        vm = VMRecord("vm-trunc", "sub-0", VM_CATALOG["D4_v5"], "T1",
+                      start_slot=10, end_slot=90)
+        # Telemetry stops halfway through the lifetime (40 of 80 slots).
+        truncated = UtilizationSeries(np.full(40, 0.5), start_slot=10)
+        vm.utilization = {r: truncated for r in ALL_RESOURCES}
+        trace = Trace(vms=[vm], fleet=fleet, n_slots=100)
+
+        policy = NO_OVERSUBSCRIPTION_POLICY
+        sim = ClusterSimulation(trace, "T1", policy,
+                                NoOversubscriptionModel(policy.windows),
+                                SimulationConfig(clusters=["T1"]))
+        result = sim.run()
+        assert "vm-trunc" in result.placed_vms
+        # Occupancy still spans the whole lifetime, telemetry or not.
+        assert result.violations.observed_server_slots == 80
+        assert result.violations.cpu_violation_fraction == pytest.approx(0.0)
         assert result.violations.memory_violation_fraction == pytest.approx(0.0)
 
 
