@@ -8,9 +8,25 @@ to micro-benchmark hot loops.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything collected under benchmarks/ with ``bench`` so the
+    tier-1 suite can deselect it wholesale (``-m "not bench"``)."""
+    for item in items:
+        try:
+            path = Path(str(item.fspath)).resolve()
+        except OSError:
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,25 @@
+"""Repo-wide pytest configuration.
+
+Reseeds the *global* random state before every test so any code path that
+falls back to ``np.random``/``random`` module-level generators behaves
+identically run to run and regardless of test ordering or ``-m`` selection.
+Code under test that wants randomness should still take an explicit
+``np.random.default_rng(seed)``; this fixture is the safety net that keeps
+tier-1 tests and benchmarks deterministic either way.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+GLOBAL_TEST_SEED = 727
+
+
+@pytest.fixture(autouse=True)
+def _reseed_global_rngs():
+    random.seed(GLOBAL_TEST_SEED)
+    np.random.seed(GLOBAL_TEST_SEED)
+    yield

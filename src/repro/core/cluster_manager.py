@@ -71,6 +71,10 @@ class ClusterManager:
                                           conservative=conservative_admission)
         self.stats = ClusterManagerStats()
         self._vms: Dict[str, CoachVM] = {}
+        #: server id -> ordered set of resident VM ids (dict used as an
+        #: ordered set), maintained on admit/deallocate so
+        #: :meth:`vms_on_server` does not scan every placed VM.
+        self._server_vms: Dict[str, Dict[str, None]] = {}
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -102,6 +106,7 @@ class ClusterManager:
         coach_vm = CoachVM.from_plan(vm, plan, self.policy.va_backing_fraction)
         coach_vm.server_id = decision.server_id
         self._vms[vm.vm_id] = coach_vm
+        self._server_vms.setdefault(decision.server_id, {})[vm.vm_id] = None
         self.stats.accepted += 1
         if plan.oversubscribed:
             self.stats.oversubscribed += 1
@@ -118,7 +123,18 @@ class ClusterManager:
     def deallocate(self, vm_id: str) -> None:
         """Release a VM's resources when it is deallocated or migrated away."""
         self.scheduler.deallocate(vm_id)
-        self._vms.pop(vm_id, None)
+        coach_vm = self._vms.pop(vm_id, None)
+        if coach_vm is not None:
+            self._unindex(vm_id, coach_vm.server_id)
+
+    def _unindex(self, vm_id: str, server_id: Optional[str]) -> None:
+        if server_id is None:
+            return
+        residents = self._server_vms.get(server_id)
+        if residents is not None:
+            residents.pop(vm_id, None)
+            if not residents:
+                del self._server_vms[server_id]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -127,7 +143,9 @@ class ClusterManager:
         return dict(self._vms)
 
     def vms_on_server(self, server_id: str) -> List[CoachVM]:
-        return [vm for vm in self._vms.values() if vm.server_id == server_id]
+        """Resident CoachVMs of one server, via the maintained index (O(residents))."""
+        return [self._vms[vm_id]
+                for vm_id in self._server_vms.get(server_id, ())]
 
     def capacity_summary(self) -> Dict[str, float]:
         """Headline packing numbers for the cluster."""

@@ -62,7 +62,8 @@ FIT_EPSILON = 1e-6
 #: repeated commit/release churn cannot accumulate float drift.
 RESIDUE_EPSILON = 1e-9
 
-#: Index of the memory resource inside ``ALL_RESOURCES``-ordered arrays.
+#: Indices of resources inside ``ALL_RESOURCES``-ordered arrays.
+_CPU_INDEX = ALL_RESOURCES.index(Resource.CPU)
 _MEMORY_INDEX = ALL_RESOURCES.index(Resource.MEMORY)
 _NON_MEMORY_INDICES = np.array(
     [i for i, r in enumerate(ALL_RESOURCES) if r is not Resource.MEMORY])
@@ -343,6 +344,29 @@ class ServerAccount:
         return not self.plans
 
 
+def bulk_cpu_capacity_and_memory_backing(accounts: Sequence[ServerAccount]):
+    """CPU capacity and committed memory backing per account, as vectors.
+
+    When every account is a view over the same ledger (accounts of one
+    :class:`ClusterScheduler`), both vectors come straight out of the ledger
+    matrices; otherwise each account's property chain is walked.  The
+    arithmetic (``pa + va.max()``) is identical either way, so callers such
+    as the vectorized violation meter stay bitwise-equivalent to per-account
+    loops.
+    """
+    ledger = accounts[0]._ledger
+    if all(account._ledger is ledger for account in accounts):
+        rows = np.fromiter((account._row for account in accounts), np.intp,
+                           len(accounts))
+        capacity_cpu = ledger.capacity[_CPU_INDEX, rows]
+        va = ledger.va_demand[rows]
+        backing = ledger.pa_memory[rows] + (va.max(axis=1) if va.size else 0.0)
+        return capacity_cpu, backing
+    capacity_cpu = np.array([a.capacity[Resource.CPU] for a in accounts])
+    backing = np.array([a.committed_memory_backing_gb for a in accounts])
+    return capacity_cpu, backing
+
+
 @dataclass
 class PlacementDecision:
     """Result of asking the scheduler to place one VM."""
@@ -393,6 +417,11 @@ class ClusterScheduler:
         """Place a VM plan on the best-fitting server (fullest that still fits)."""
         if plan.windows.windows_per_day != self.windows.windows_per_day:
             raise ValueError("plan and server use different time window configurations")
+        if plan.vm_id in self._placements:
+            # Silently overwriting would leak the old server's committed
+            # demand forever; callers must deallocate first.
+            raise ValueError(f"VM {plan.vm_id} is already placed on "
+                             f"{self._placements[plan.vm_id]}")
         plan_demand = plan_demand_matrix(plan)
         memory_plan = plan.plans[Resource.MEMORY]
         hypothetical = self.ledger.hypothetical_demand(plan_demand)
@@ -473,6 +502,9 @@ class ReferenceLoopScheduler:
         self._placements: Dict[str, str] = {}
 
     def place(self, plan: VMResourcePlan) -> PlacementDecision:
+        if plan.vm_id in self._placements:
+            raise ValueError(f"VM {plan.vm_id} is already placed on "
+                             f"{self._placements[plan.vm_id]}")
         best_server: Optional[ServerAccount] = None
         best_score = -1.0
         for server in self.servers.values():

@@ -240,9 +240,16 @@ def figure19_prediction_accuracy(trace: Trace,
 def figure20_packing(trace: Trace,
                      policies: Optional[Dict[str, PolicyConfig]] = None,
                      clusters: Sequence[str] = ("C1", "C4", "C8"),
-                     n_estimators: int = 5) -> Dict[str, Dict[str, float]]:
-    """Additional capacity and performance violations per policy."""
-    config = SimulationConfig(clusters=list(clusters), n_estimators=n_estimators)
+                     n_estimators: int = 5,
+                     parallelism: int = 1) -> Dict[str, Dict[str, float]]:
+    """Additional capacity and performance violations per policy.
+
+    *parallelism* fans the clusters of each policy run across a thread pool
+    (results are bitwise identical for any value; see
+    :func:`repro.simulator.engine.simulate_policy`).
+    """
+    config = SimulationConfig(clusters=list(clusters), n_estimators=n_estimators,
+                              parallelism=parallelism)
     results = evaluate_policies(trace, policies or STANDARD_POLICIES, config)
     return {
         name: {

@@ -19,6 +19,12 @@ from repro.simulator.metrics import (
     ViolationStats,
     compare_policies,
 )
+from repro.simulator.replay import (
+    VIOLATION_METERS,
+    ReferenceViolationMeter,
+    VectorizedViolationMeter,
+    get_violation_meter,
+)
 
 __all__ = [
     "ClusterRunResult",
@@ -28,10 +34,14 @@ __all__ = [
     "PAGING_BANDWIDTH_GBPS",
     "PolicyEvaluation",
     "PredictionAccuracy",
+    "ReferenceViolationMeter",
     "ServerMemoryModel",
     "SimulationConfig",
+    "VIOLATION_METERS",
+    "VectorizedViolationMeter",
     "ViolationStats",
     "compare_policies",
     "evaluate_policies",
+    "get_violation_meter",
     "simulate_policy",
 ]

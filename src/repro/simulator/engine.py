@@ -9,21 +9,28 @@ estimate contention.  This engine does the same against the synthetic trace:
 3. replay the evaluation VMs' arrivals and departures through a per-cluster
    :class:`ClusterManager` (which plans and places CoachVMs);
 4. replay the actual utilization of the placed VMs against each server's
-   committed physical resources to count CPU and memory violations.
+   committed physical resources to count CPU and memory violations (see
+   :mod:`repro.simulator.replay` for the vectorized and reference engines).
+
+Clusters are fully independent (each has its own manager, scheduler, and
+ledger), so :func:`simulate_policy` can fan them out across a
+``concurrent.futures`` thread pool (``SimulationConfig.parallelism``).
+Results are aggregated in cluster-id order regardless of completion order,
+so the evaluation is bitwise identical for any parallelism level.
 """
 
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.core.cluster_manager import ClusterManager, build_prediction_model
 from repro.core.policy import PolicyConfig, STANDARD_POLICIES
 from repro.core.resources import Resource
 from repro.simulator.metrics import PolicyEvaluation, ViolationStats, compare_policies
+from repro.simulator.replay import get_violation_meter
 from repro.trace.timeseries import SLOTS_PER_DAY
 from repro.trace.trace import Trace
 from repro.trace.vm import VMRecord
@@ -51,6 +58,12 @@ class SimulationConfig:
     n_estimators: int = 10
     #: Use the oracle predictor instead of the learned one (ablation).
     oracle_predictions: bool = False
+    #: Violation replay engine: ``"vectorized"`` (default) or ``"reference"``
+    #: (the seed per-server loop, kept for differential testing).
+    violation_meter: str = "vectorized"
+    #: Number of clusters simulated concurrently by :func:`simulate_policy`
+    #: (1 = strictly serial).  Any value yields bitwise-identical results.
+    parallelism: int = 1
 
 
 @dataclass
@@ -70,6 +83,9 @@ class ClusterSimulation:
         self.cluster_id = cluster_id
         self.policy = policy
         self.config = config
+        # Resolve the replay engine up front so a mistyped meter name fails
+        # before any (expensive) arrival replay runs.
+        self._violation_meter = get_violation_meter(config.violation_meter)
         self.manager = ClusterManager(
             trace.fleet.get(cluster_id), policy, prediction_model,
             conservative_admission=config.conservative_admission)
@@ -107,71 +123,37 @@ class ClusterSimulation:
     # ------------------------------------------------------------------ #
     def _measure_violations(self) -> ViolationStats:
         """Replay utilization of placed VMs against each server's commitments."""
-        start = self.config.placement_start_slot
-        end = self.trace.n_slots
-        n_slots = end - start
-        stats = ViolationStats()
-        if n_slots <= 0:
-            return stats
+        return self._violation_meter.measure(
+            self.manager.scheduler.servers.values(), self.placed,
+            self.config.placement_start_slot, self.trace.n_slots,
+            self.config.cpu_contention_fraction)
 
-        cpu_violations = 0
-        mem_violations = 0
-        observed = 0
-        scheduler = self.manager.scheduler
-        for server in scheduler.servers.values():
-            if not server.plans:
-                continue
-            capacity_cpu = server.capacity[Resource.CPU]
-            capacity_mem_backing = server.committed_memory_backing_gb
-            cpu_demand = np.zeros(n_slots)
-            mem_demand = np.zeros(n_slots)
-            occupancy = np.zeros(n_slots, dtype=bool)
-            for vm_id in server.plans:
-                vm = self.placed.get(vm_id)
-                if vm is None:
-                    continue
-                lo = max(vm.start_slot, start)
-                hi = min(vm.end_slot, end)
-                if hi <= lo:
-                    continue
-                # A series may cover less than [start_slot, end_slot), so the
-                # destination slice must be clamped to the samples actually
-                # returned, not to the VM lifetime.
-                for series, demand, allocated in (
-                        (vm.series(Resource.CPU), cpu_demand, vm.allocated(Resource.CPU)),
-                        (vm.series(Resource.MEMORY), mem_demand, vm.allocated(Resource.MEMORY))):
-                    seg_lo = max(lo, series.start_slot)
-                    seg_hi = min(hi, series.end_slot)
-                    if seg_hi > seg_lo:
-                        demand[seg_lo - start:seg_hi - start] += (
-                            series.slice_absolute(seg_lo, seg_hi) * allocated)
-                occupancy[lo - start:hi - start] = True
 
-            occupied = int(occupancy.sum())
-            if occupied == 0:
-                continue
-            observed += occupied
-            cpu_violations += int(np.count_nonzero(
-                occupancy & (cpu_demand > self.config.cpu_contention_fraction * capacity_cpu)))
-            # Memory contention: actual demand exceeds the physical memory the
-            # scheduler committed for these VMs (PA pools plus the multiplexed
-            # oversubscribed pool), i.e. accesses would fault to disk.
-            mem_violations += int(np.count_nonzero(
-                occupancy & (mem_demand > capacity_mem_backing + 1e-6)))
-
-        if observed:
-            stats.cpu_violation_fraction = cpu_violations / observed
-            stats.memory_violation_fraction = mem_violations / observed
-            stats.observed_server_slots = observed
-        return stats
+def _run_cluster(trace: Trace, cluster_id: str, policy: PolicyConfig,
+                 prediction_model: object,
+                 config: SimulationConfig) -> ClusterRunResult:
+    return ClusterSimulation(trace, cluster_id, policy, prediction_model,
+                             config).run()
 
 
 def simulate_policy(trace: Trace, policy: PolicyConfig,
                     config: Optional[SimulationConfig] = None,
-                    prediction_model: Optional[object] = None) -> PolicyEvaluation:
-    """Run the full replay for one policy and aggregate across clusters."""
+                    prediction_model: Optional[object] = None,
+                    parallelism: Optional[int] = None) -> PolicyEvaluation:
+    """Run the full replay for one policy and aggregate across clusters.
+
+    *parallelism* overrides ``config.parallelism`` when given.  Clusters are
+    simulated on independent ledgers (the prediction model is shared
+    read-only), and the aggregation below walks the results in cluster-id
+    order, so the returned :class:`PolicyEvaluation` is bitwise identical
+    for every parallelism level.
+    """
     config = config or SimulationConfig()
     cluster_ids = list(config.clusters) if config.clusters else trace.cluster_ids()
+    if parallelism is None:
+        parallelism = config.parallelism
+    # Fail fast on a mistyped meter name, before model training and replay.
+    get_violation_meter(config.violation_meter)
 
     if prediction_model is None:
         history, _future = trace.split_at(config.history_end_slot)
@@ -185,13 +167,16 @@ def simulate_policy(trace: Trace, policy: PolicyConfig,
     accepted_vm_slots = 0.0
     accepted_core_slots = 0.0
     accepted_memory_slots = 0.0
-    cpu_fraction_weighted = mem_fraction_weighted = 0.0
-    observed_total = 0
+    violation_parts: List[ViolationStats] = []
     eval_slots = max(1, trace.n_slots - config.placement_start_slot)
 
-    for cluster_id in cluster_ids:
-        sim = ClusterSimulation(trace, cluster_id, policy, prediction_model, config)
-        result = sim.run()
+    def _aggregate(result: ClusterRunResult) -> None:
+        """Fold one cluster into the running totals (cluster-id order), so
+        completed ClusterRunResults -- manager, ledger, placed map -- can be
+        dropped instead of all being held until the end."""
+        nonlocal requested, accepted, rejected, servers_in_use, servers_total
+        nonlocal accepted_cores, accepted_memory, accepted_vm_slots
+        nonlocal accepted_core_slots, accepted_memory_slots
         manager = result.manager
         requested += manager.stats.requests
         accepted += manager.stats.accepted
@@ -206,18 +191,22 @@ def simulate_policy(trace: Trace, policy: PolicyConfig,
             accepted_vm_slots += overlap_slots
             accepted_core_slots += overlap_slots * vm.allocated(Resource.CPU)
             accepted_memory_slots += overlap_slots * vm.allocated(Resource.MEMORY)
-        observed = result.violations.observed_server_slots
-        observed_total += observed
-        cpu_fraction_weighted += result.violations.cpu_violation_fraction * observed
-        mem_fraction_weighted += result.violations.memory_violation_fraction * observed
+        violation_parts.append(result.violations)
 
-    violations = ViolationStats(
-        cpu_violation_fraction=(cpu_fraction_weighted / observed_total
-                                if observed_total else 0.0),
-        memory_violation_fraction=(mem_fraction_weighted / observed_total
-                                   if observed_total else 0.0),
-        observed_server_slots=observed_total,
-    )
+    n_workers = min(max(1, parallelism), max(1, len(cluster_ids)))
+    if n_workers <= 1 or len(cluster_ids) <= 1:
+        for cluster_id in cluster_ids:
+            _aggregate(_run_cluster(trace, cluster_id, policy, prediction_model,
+                                    config))
+    else:
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(_run_cluster, trace, cluster_id, policy,
+                                   prediction_model, config)
+                       for cluster_id in cluster_ids]
+            for future in futures:
+                _aggregate(future.result())
+
+    violations = ViolationStats.merge(violation_parts)
     return PolicyEvaluation(
         policy_name=policy.name,
         requested_vms=requested,

@@ -3,12 +3,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass
 class ViolationStats:
-    """Contention accounting for one policy run (Figure 20b)."""
+    """Contention accounting for one policy run (Figure 20b).
+
+    Counts are the source of truth; the fractions are derived from them so
+    stats from independent clusters can be merged exactly (integer sums)
+    instead of re-weighting floating-point fractions.  The per-server dicts
+    record, for every server that hosted at least one occupied slot, how many
+    slots were observed and how many violated each resource.
+    """
 
     #: Fraction of occupied server-slots with CPU contention.
     cpu_violation_fraction: float = 0.0
@@ -16,6 +23,14 @@ class ViolationStats:
     memory_violation_fraction: float = 0.0
     #: Number of (server, slot) pairs inspected.
     observed_server_slots: int = 0
+    #: Number of occupied server-slots with CPU contention.
+    cpu_violation_slots: int = 0
+    #: Number of occupied server-slots with memory contention.
+    memory_violation_slots: int = 0
+    #: Per-server breakdowns, keyed by server id (occupied servers only).
+    per_server_observed: Dict[str, int] = field(default_factory=dict)
+    per_server_cpu_violations: Dict[str, int] = field(default_factory=dict)
+    per_server_memory_violations: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cpu_violation_pct(self) -> float:
@@ -24,6 +39,50 @@ class ViolationStats:
     @property
     def memory_violation_pct(self) -> float:
         return 100.0 * self.memory_violation_fraction
+
+    @classmethod
+    def from_counts(cls,
+                    per_server_observed: Dict[str, int],
+                    per_server_cpu_violations: Dict[str, int],
+                    per_server_memory_violations: Dict[str, int]) -> "ViolationStats":
+        """Build stats from per-server counts, deriving totals and fractions."""
+        observed = sum(per_server_observed.values())
+        cpu = sum(per_server_cpu_violations.values())
+        mem = sum(per_server_memory_violations.values())
+        return cls(
+            cpu_violation_fraction=cpu / observed if observed else 0.0,
+            memory_violation_fraction=mem / observed if observed else 0.0,
+            observed_server_slots=observed,
+            cpu_violation_slots=cpu,
+            memory_violation_slots=mem,
+            per_server_observed=per_server_observed,
+            per_server_cpu_violations=per_server_cpu_violations,
+            per_server_memory_violations=per_server_memory_violations,
+        )
+
+    @classmethod
+    def merge(cls, parts: Iterable["ViolationStats"]) -> "ViolationStats":
+        """Exact aggregation across clusters.
+
+        Server ids must be globally unique across the merged parts (they are
+        prefixed with the cluster id); a collision -- e.g. the same cluster
+        simulated twice via a duplicated ``SimulationConfig.clusters`` entry
+        -- would silently drop counts, so it fails loudly instead.
+        """
+        observed: Dict[str, int] = {}
+        cpu: Dict[str, int] = {}
+        mem: Dict[str, int] = {}
+        n_servers = 0
+        for part in parts:
+            observed.update(part.per_server_observed)
+            cpu.update(part.per_server_cpu_violations)
+            mem.update(part.per_server_memory_violations)
+            n_servers += len(part.per_server_observed)
+        if len(observed) != n_servers:
+            raise ValueError(
+                "duplicate server ids across merged ViolationStats "
+                "(was the same cluster simulated twice?)")
+        return cls.from_counts(observed, cpu, mem)
 
 
 @dataclass

@@ -1,0 +1,286 @@
+"""Violation replay engines (Section 4.1, "Simulator").
+
+After a cluster's arrivals have been replayed through the scheduler, the
+evaluation replays each placed VM's 5-minute utilization against the physical
+resources the scheduler committed on its server and counts CPU and memory
+violations.  Two interchangeable meters implement that accounting:
+
+* :class:`ReferenceViolationMeter` -- the seed per-server, per-VM loop, kept
+  verbatim as the differential-testing and benchmarking reference (the same
+  pattern as ``ReferenceLoopScheduler`` on the placement side).
+* :class:`VectorizedViolationMeter` -- the dense formulation: every placed
+  VM's CPU/memory demand segments are materialized once and scatter-added
+  into ``(n_servers, n_slots)`` demand matrices via a single ``bincount``
+  over precomputed flat ``server * n_slots + slot`` indices; occupancy uses
+  the interval difference-array trick; violations for all servers fall out
+  of one broadcasted comparison against the per-server capacity vectors.
+
+The vectorized meter is arranged to be *bitwise* identical to the reference,
+not merely close: segments are emitted in the same (server, VM) iteration
+order the reference uses, and ``np.bincount`` accumulates its weights
+sequentially in input order, so every per-slot float addition happens in the
+same order as the reference loop's ``demand[lo:hi] += series * allocated``.
+The differential test (``tests/test_violation_equivalence.py``) asserts exact
+equality of the resulting :class:`ViolationStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.core.resources import Resource
+from repro.core.scheduler import ServerAccount, bulk_cpu_capacity_and_memory_backing
+from repro.simulator.metrics import ViolationStats
+from repro.trace.vm import VMRecord
+
+#: Absolute tolerance on the memory-backing comparison (seed value).
+MEMORY_EPSILON = 1e-6
+
+
+class ReferenceViolationMeter:
+    """The seed per-server, per-VM replay loop.
+
+    Iterates every server, accumulates each placed VM's absolute CPU/memory
+    demand into per-server slot arrays, and counts the occupied slots whose
+    demand exceeds the committed capacity.  Kept alive for differential
+    testing and benchmarking of :class:`VectorizedViolationMeter`.
+    """
+
+    def measure(self, servers: Iterable[ServerAccount],
+                placed: Dict[str, VMRecord],
+                start: int, end: int,
+                cpu_contention_fraction: float) -> ViolationStats:
+        n_slots = end - start
+        observed: Dict[str, int] = {}
+        cpu_counts: Dict[str, int] = {}
+        mem_counts: Dict[str, int] = {}
+        if n_slots <= 0:
+            return ViolationStats.from_counts(observed, cpu_counts, mem_counts)
+
+        for server in servers:
+            if not server.plans:
+                continue
+            capacity_cpu = server.capacity[Resource.CPU]
+            capacity_mem_backing = server.committed_memory_backing_gb
+            cpu_demand = np.zeros(n_slots)
+            mem_demand = np.zeros(n_slots)
+            occupancy = np.zeros(n_slots, dtype=bool)
+            for vm_id in server.plans:
+                vm = placed.get(vm_id)
+                if vm is None:
+                    continue
+                lo = max(vm.start_slot, start)
+                hi = min(vm.end_slot, end)
+                if hi <= lo:
+                    continue
+                # A series may cover less than [start_slot, end_slot), so the
+                # destination slice must be clamped to the samples actually
+                # returned, not to the VM lifetime.
+                for series, demand, allocated in (
+                        (vm.series(Resource.CPU), cpu_demand, vm.allocated(Resource.CPU)),
+                        (vm.series(Resource.MEMORY), mem_demand, vm.allocated(Resource.MEMORY))):
+                    seg_lo = max(lo, series.start_slot)
+                    seg_hi = min(hi, series.end_slot)
+                    if seg_hi > seg_lo:
+                        demand[seg_lo - start:seg_hi - start] += (
+                            series.slice_absolute(seg_lo, seg_hi) * allocated)
+                occupancy[lo - start:hi - start] = True
+
+            occupied = int(occupancy.sum())
+            if occupied == 0:
+                continue
+            observed[server.server_id] = occupied
+            cpu_counts[server.server_id] = int(np.count_nonzero(
+                occupancy & (cpu_demand > cpu_contention_fraction * capacity_cpu)))
+            # Memory contention: actual demand exceeds the physical memory the
+            # scheduler committed for these VMs (PA pools plus the multiplexed
+            # oversubscribed pool), i.e. accesses would fault to disk.
+            mem_counts[server.server_id] = int(np.count_nonzero(
+                occupancy & (mem_demand > capacity_mem_backing + MEMORY_EPSILON)))
+        return ViolationStats.from_counts(observed, cpu_counts, mem_counts)
+
+
+def _scatter_add(chunks: List[np.ndarray], dest_starts: List[int],
+                 chunk_lengths: List[int], allocations: List[float],
+                 size: int) -> np.ndarray:
+    """Scatter-add variable-length demand segments into a flat accumulator.
+
+    ``chunks[i]`` (fractional utilization samples, ``chunk_lengths[i]`` of
+    them) is scaled by ``allocations[i]`` and added at flat indices
+    ``dest_starts[i] .. dest_starts[i] + chunk_lengths[i]``.  ``np.bincount``
+    adds its weights in input order, so keeping the segments in reference
+    iteration order keeps the per-slot accumulation order -- and therefore
+    the float results -- bitwise identical to the reference loop.
+    """
+    if not chunks:
+        return np.zeros(size)
+    lengths = np.asarray(chunk_lengths, dtype=np.intp)
+    total = int(lengths.sum())
+    values = np.concatenate(chunks) * np.repeat(
+        np.asarray(allocations, dtype=np.float64), lengths)
+    # Flat index of sample j of chunk i is dest_starts[i] + j.  Fold the
+    # per-chunk base into one repeat: repeat(dest_start - chunk_offset) +
+    # arange(total) where chunk_offset is the chunk's position in the
+    # concatenated sample array.
+    starts = np.asarray(dest_starts, dtype=np.intp)
+    chunk_offsets = np.cumsum(lengths) - lengths
+    indices = np.repeat(starts - chunk_offsets, lengths) + np.arange(total)
+    return np.bincount(indices, weights=values, minlength=size)
+
+
+class VectorizedViolationMeter:
+    """Dense scatter-add violation replay.
+
+    One Python pass gathers each placed VM's demand segments (a raw slice of
+    the utilization series plus a flat destination index); everything after
+    that -- scaling, accumulation, occupancy, and the capacity comparisons
+    for every server -- is a handful of whole-array numpy operations.
+    """
+
+    def measure(self, servers: Iterable[ServerAccount],
+                placed: Dict[str, VMRecord],
+                start: int, end: int,
+                cpu_contention_fraction: float) -> ViolationStats:
+        n_slots = end - start
+        if n_slots <= 0:
+            return ViolationStats.from_counts({}, {}, {})
+        active = [server for server in servers if server.plans]
+        if not active:
+            return ViolationStats.from_counts({}, {}, {})
+
+        capacity_cpu, backing = bulk_cpu_capacity_and_memory_backing(active)
+
+        # One lean Python pass over the placed VMs gathers raw series slices
+        # and flat destination indices; everything numeric happens afterwards
+        # in whole-array operations.  The loop deliberately avoids the
+        # per-call conveniences of the reference (``vm.series()`` lookups,
+        # ``vm.allocated()`` building a ResourceVector per call, numpy scalar
+        # indexing): at 5k VMs those dominate the replay cost.
+        cpu_chunks: List[np.ndarray] = []
+        cpu_starts: List[int] = []
+        cpu_lens: List[int] = []
+        cpu_alloc: List[float] = []
+        mem_chunks: List[np.ndarray] = []
+        mem_starts: List[int] = []
+        mem_lens: List[int] = []
+        mem_alloc: List[float] = []
+        # Occupancy difference indices: +1 at interval start, -1 one past the
+        # end; the running sum > 0 marks occupied slots.  Rows are padded by
+        # one column to absorb intervals ending at n_slots.
+        occ_plus: List[int] = []
+        occ_minus: List[int] = []
+
+        cpu_resource, mem_resource = Resource.CPU, Resource.MEMORY
+        placed_get = placed.get
+        cpu_chunks_append = cpu_chunks.append
+        cpu_starts_append = cpu_starts.append
+        cpu_lens_append = cpu_lens.append
+        cpu_alloc_append = cpu_alloc.append
+        mem_chunks_append = mem_chunks.append
+        mem_starts_append = mem_starts.append
+        mem_lens_append = mem_lens.append
+        mem_alloc_append = mem_alloc.append
+        occ_plus_append = occ_plus.append
+        occ_minus_append = occ_minus.append
+        for row, server in enumerate(active):
+            row_base = row * n_slots - start
+            occ_base = row * (n_slots + 1) - start
+            for vm_id in server.plans:
+                vm = placed_get(vm_id)
+                if vm is None:
+                    continue
+                vm_start = vm.start_slot
+                vm_end = vm.end_slot
+                lo = vm_start if vm_start > start else start
+                hi = vm_end if vm_end < end else end
+                if hi <= lo:
+                    continue
+                utilization = vm.utilization
+                config = vm.config
+                try:
+                    series = utilization[cpu_resource]
+                    mem_series = utilization[mem_resource]
+                except KeyError as exc:
+                    raise KeyError(
+                        f"VM {vm_id} has no utilization series for {exc.args[0]}"
+                    ) from exc
+                values = series.values
+                series_start = series.start_slot
+                series_end = series_start + values.size
+                seg_lo = lo if lo > series_start else series_start
+                seg_hi = hi if hi < series_end else series_end
+                if seg_hi > seg_lo:
+                    cpu_chunks_append(values[seg_lo - series_start:
+                                             seg_hi - series_start])
+                    cpu_starts_append(row_base + seg_lo)
+                    cpu_lens_append(seg_hi - seg_lo)
+                    cpu_alloc_append(config.cores)
+                mem_values = mem_series.values
+                mem_start = mem_series.start_slot
+                if mem_start != series_start or mem_values.size != values.size:
+                    # Memory telemetry covers a different window: recompute.
+                    series_end = mem_start + mem_values.size
+                    seg_lo = lo if lo > mem_start else mem_start
+                    seg_hi = hi if hi < series_end else series_end
+                if seg_hi > seg_lo:
+                    mem_chunks_append(mem_values[seg_lo - mem_start:
+                                                 seg_hi - mem_start])
+                    mem_starts_append(row_base + seg_lo)
+                    mem_lens_append(seg_hi - seg_lo)
+                    mem_alloc_append(config.memory_gb)
+                occ_plus_append(occ_base + lo)
+                occ_minus_append(occ_base + hi)
+
+        if not occ_plus:
+            # Servers hold plans but none of the placed VMs overlap the
+            # evaluation period -- every row is unoccupied, as in the
+            # reference loop's ``occupied == 0`` skip.
+            return ViolationStats.from_counts({}, {}, {})
+
+        size = len(active) * n_slots
+        cpu_demand = _scatter_add(cpu_chunks, cpu_starts, cpu_lens, cpu_alloc, size)
+        mem_demand = _scatter_add(mem_chunks, mem_starts, mem_lens, mem_alloc, size)
+        cpu_demand = cpu_demand.reshape(len(active), n_slots)
+        mem_demand = mem_demand.reshape(len(active), n_slots)
+        occ_size = len(active) * (n_slots + 1)
+        occ_delta = (np.bincount(occ_plus, minlength=occ_size)
+                     - np.bincount(occ_minus, minlength=occ_size))
+        occupancy = np.cumsum(
+            occ_delta.reshape(len(active), n_slots + 1), axis=1)[:, :n_slots] > 0
+
+        cpu_violations = np.count_nonzero(
+            occupancy & (cpu_demand > cpu_contention_fraction * capacity_cpu[:, None]),
+            axis=1)
+        mem_violations = np.count_nonzero(
+            occupancy & (mem_demand > (backing + MEMORY_EPSILON)[:, None]), axis=1)
+        occupied = occupancy.sum(axis=1)
+
+        observed: Dict[str, int] = {}
+        cpu_counts: Dict[str, int] = {}
+        mem_counts: Dict[str, int] = {}
+        for row, server in enumerate(active):
+            if occupied[row] == 0:
+                continue
+            observed[server.server_id] = int(occupied[row])
+            cpu_counts[server.server_id] = int(cpu_violations[row])
+            mem_counts[server.server_id] = int(mem_violations[row])
+        return ViolationStats.from_counts(observed, cpu_counts, mem_counts)
+
+
+#: Registry of the available replay engines (``SimulationConfig.violation_meter``).
+VIOLATION_METERS = {
+    "vectorized": VectorizedViolationMeter,
+    "reference": ReferenceViolationMeter,
+}
+
+
+def get_violation_meter(name: str):
+    """Instantiate a violation meter by registry name."""
+    try:
+        return VIOLATION_METERS[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown violation meter {name!r}; expected one of "
+            f"{sorted(VIOLATION_METERS)}") from exc

@@ -1,0 +1,95 @@
+"""Synthetic placed-replay workloads for differential tests and benchmarks.
+
+Both the meter-equivalence tests and the replay-scale benchmark need the
+same thing: a scheduler with randomized VM plans committed to it, plus the
+matching :class:`VMRecord` telemetry that :class:`ClusterSimulation` would
+hand to a violation meter.  Keeping the builder in one place guarantees the
+at-scale benchmark and the differential tests exercise the same workload
+shape (truncated series, stale plan entries, commit/release churn), so a
+change to the plan or telemetry schema cannot silently drift between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.scheduler import ClusterScheduler, ServerAccount
+from repro.core.windows import plan_vm
+from repro.prediction.utilization_model import WindowUtilizationPrediction
+from repro.trace.hardware import ClusterConfig
+from repro.trace.timeseries import TimeWindowConfig, UtilizationSeries
+from repro.trace.vm import VM_CATALOG, VMRecord
+
+#: Small shapes, so even a modest cluster genuinely hosts most arrivals.
+DEFAULT_CONFIG_NAMES: Tuple[str, ...] = ("D1_v5", "D2_v5", "D4_v5", "F2_v2", "E2_v5")
+
+
+def build_placed_replay_state(
+    cluster: ClusterConfig,
+    windows: TimeWindowConfig,
+    n_vms: int,
+    n_slots: int,
+    *,
+    seed: int = 7,
+    lifetime_range: Tuple[int, int] = (24, 48),
+    start_margin: int | None = None,
+    max_end_overshoot: int = 0,
+    config_names: Sequence[str] = DEFAULT_CONFIG_NAMES,
+    util_max_range: Tuple[float, float] = (0.05, 0.5),
+    util_pct_range: Tuple[float, float] = (0.02, 0.3),
+    full_coverage_probability: float = 0.8,
+    stale_plan_probability: float = 0.0,
+    churn_probability: float = 0.0,
+) -> Tuple[List[ServerAccount], Dict[str, VMRecord]]:
+    """Commit randomized VM plans and attach randomized telemetry.
+
+    Returns ``(servers, placed)`` mirroring what ``ClusterSimulation`` hands
+    to a violation meter.  Depending on the probabilities, the workload
+    includes series covering only part of the lifetime (truncated
+    telemetry), committed plans whose VM never lands in ``placed`` (stale
+    entries), and interleaved deallocations (churn).  Lifetimes may overrun
+    the evaluation window by up to *max_end_overshoot* slots, which
+    exercises the meters' end-clamping.
+    """
+    rng = np.random.default_rng(seed)
+    scheduler = ClusterScheduler(cluster, windows)
+    placed: Dict[str, VMRecord] = {}
+    configs = [VM_CATALOG[name] for name in config_names]
+    w = windows.windows_per_day
+    if start_margin is None:
+        start_margin = lifetime_range[0]
+    for i in range(n_vms):
+        maximum = {r: rng.uniform(*util_max_range, w) for r in ALL_RESOURCES}
+        percentile = {r: np.minimum(maximum[r], rng.uniform(*util_pct_range, w))
+                      for r in ALL_RESOURCES}
+        prediction = WindowUtilizationPrediction(
+            windows=windows, percentile=percentile, maximum=maximum)
+        config = configs[rng.integers(len(configs))]
+        allocation = {Resource.CPU: float(config.cores),
+                      Resource.MEMORY: float(config.memory_gb),
+                      Resource.NETWORK: config.network_gbps,
+                      Resource.SSD: float(config.ssd_gb)}
+        decision = scheduler.place(
+            plan_vm(f"vm-{i}", allocation, prediction, oversubscribe=True))
+        start_slot = int(rng.integers(0, n_slots - start_margin))
+        end_slot = int(min(n_slots + max_end_overshoot,
+                           start_slot + rng.integers(*lifetime_range)))
+        if decision.accepted and not (stale_plan_probability
+                                      and rng.random() < stale_plan_probability):
+            vm = VMRecord(f"vm-{i}", "sub", config, cluster.cluster_id,
+                          start_slot, end_slot)
+            lifetime = end_slot - start_slot
+            covered = (lifetime if rng.random() < full_coverage_probability
+                       else int(rng.integers(1, lifetime + 1)))
+            vm.utilization = {
+                r: UtilizationSeries(rng.uniform(0.0, 1.0, covered), start_slot)
+                for r in (Resource.CPU, Resource.MEMORY)}
+            placed[vm.vm_id] = vm
+        if churn_probability and placed and rng.random() < churn_probability:
+            victim = next(iter(placed))
+            scheduler.deallocate(victim)
+            placed.pop(victim)
+    return list(scheduler.servers.values()), placed

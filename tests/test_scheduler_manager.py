@@ -13,7 +13,12 @@ from repro.core.policy import (
     policy_by_name,
 )
 from repro.core.resources import ALL_RESOURCES, Resource
-from repro.core.scheduler import ClusterScheduler, ServerAccount, schedule_all
+from repro.core.scheduler import (
+    ClusterScheduler,
+    ServerAccount,
+    plan_demand_matrix,
+    schedule_all,
+)
 from repro.core.windows import plan_vm
 from repro.prediction.utilization_model import (
     NoOversubscriptionModel,
@@ -63,6 +68,32 @@ def _plan(vm_id, windows, memory_gb=16.0, cores=4.0, percentile=1.0, maximum=1.0
     allocation = {Resource.CPU: cores, Resource.MEMORY: memory_gb,
                   Resource.NETWORK: 2.0, Resource.SSD: 128.0}
     return plan_vm(vm_id, allocation, prediction, oversubscribe=percentile < 1.0)
+
+
+def _random_window_plan(rng, vm_id, windows, random_size=False):
+    """A plan with random per-window utilization (and optionally random size).
+
+    Shared by the churn-drift regression and the ledger property tests so
+    the randomized plan shape cannot drift between them.
+    """
+    n = windows.windows_per_day
+    maximum = {r: rng.uniform(0.1, 1.0, n) for r in ALL_RESOURCES}
+    percentile = {r: np.minimum(maximum[r], rng.uniform(0.05, 0.9, n))
+                  for r in ALL_RESOURCES}
+    prediction = WindowUtilizationPrediction(
+        windows=windows, percentile=percentile, maximum=maximum)
+    if random_size:
+        cores = float(rng.choice([1, 2, 2, 4, 8]))
+        allocation = {Resource.CPU: cores,
+                      Resource.MEMORY: cores * float(rng.choice([2, 4, 8])),
+                      Resource.NETWORK: min(0.5 * cores, 16.0),
+                      Resource.SSD: 32.0 * cores}
+        oversubscribe = bool(rng.random() < 0.8)
+    else:
+        allocation = {Resource.CPU: 2.0, Resource.MEMORY: 8.0,
+                      Resource.NETWORK: 1.0, Resource.SSD: 64.0}
+        oversubscribe = True
+    return plan_vm(vm_id, allocation, prediction, oversubscribe=oversubscribe)
 
 
 class TestServerAccount:
@@ -133,26 +164,15 @@ class TestServerAccount:
 class TestReleaseDriftRegression:
     """Repeated commit/release churn must not accumulate float residues."""
 
-    def _random_plan(self, rng, vm_id, windows):
-        n = windows.windows_per_day
-        maximum = {r: rng.uniform(0.1, 1.0, n) for r in ALL_RESOURCES}
-        percentile = {r: np.minimum(maximum[r], rng.uniform(0.05, 0.9, n))
-                      for r in ALL_RESOURCES}
-        prediction = WindowUtilizationPrediction(
-            windows=windows, percentile=percentile, maximum=maximum)
-        allocation = {Resource.CPU: 2.0, Resource.MEMORY: 8.0,
-                      Resource.NETWORK: 1.0, Resource.SSD: 64.0}
-        return plan_vm(vm_id, allocation, prediction, oversubscribe=True)
-
     def test_thousand_cycle_churn_leaves_account_exactly_empty(self):
         windows = TimeWindowConfig(4)
         account = ServerAccount("s0", HARDWARE_GENERATIONS["gen4-intel"], windows)
         rng = np.random.default_rng(31)
-        resident = self._random_plan(rng, "resident", windows)
+        resident = _random_window_plan(rng, "resident", windows)
         account.commit(resident)
         for cycle in range(1000):
-            first = self._random_plan(rng, f"churn-{cycle}-a", windows)
-            second = self._random_plan(rng, f"churn-{cycle}-b", windows)
+            first = _random_window_plan(rng, f"churn-{cycle}-a", windows)
+            second = _random_window_plan(rng, f"churn-{cycle}-b", windows)
             account.commit(first)
             account.commit(second)
             # Release in commit order (not LIFO) so the float additions and
@@ -172,10 +192,62 @@ class TestReleaseDriftRegression:
         account = ServerAccount("s0", HARDWARE_GENERATIONS["gen4-intel"], windows)
         rng = np.random.default_rng(77)
         for cycle in range(200):
-            plan = self._random_plan(rng, f"vm-{cycle}", windows)
+            plan = _random_window_plan(rng, f"vm-{cycle}", windows)
             account.commit(plan)
             account.release(plan.vm_id)
             assert account.committed_memory_backing_gb == 0.0
+
+
+class TestLedgerInvariants:
+    """Property-style check: whatever the commit/release interleaving, every
+    ledger row must equal the summed demands of the plans currently live on
+    it, and fully drain to exact zero when the last plan leaves."""
+
+    def _assert_rows_match_live_plans(self, scheduler):
+        ledger = scheduler.ledger
+        for account in scheduler.servers.values():
+            row = account._row
+            expected_demand = np.zeros((len(ALL_RESOURCES), ledger.n_windows))
+            expected_pa = 0.0
+            expected_va = np.zeros(ledger.n_windows)
+            for plan in account.plans.values():
+                expected_demand += plan_demand_matrix(plan)
+                memory_plan = plan.plans[Resource.MEMORY]
+                expected_pa += memory_plan.guaranteed
+                expected_va += memory_plan.window_oversubscribed
+            np.testing.assert_allclose(ledger.demand[:, row], expected_demand,
+                                       atol=1e-9)
+            assert ledger.pa_memory[row] == pytest.approx(expected_pa, abs=1e-9)
+            np.testing.assert_allclose(ledger.va_demand[row], expected_va, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 13, 99, 4096])
+    def test_random_interleavings_preserve_row_sums(self, seed):
+        windows = TimeWindowConfig(4)
+        cluster = ClusterConfig("LP", "test", (("gen4-intel", 2), ("gen6-amd", 1)))
+        scheduler = ClusterScheduler(cluster, windows)
+        rng = np.random.default_rng(seed)
+        live = []
+        for i in range(250):
+            if live and rng.random() < 0.45:
+                victim = live.pop(int(rng.integers(len(live))))
+                scheduler.deallocate(victim)
+            else:
+                plan = _random_window_plan(rng, f"vm-{seed}-{i}", windows,
+                                           random_size=True)
+                if scheduler.place(plan).accepted:
+                    live.append(plan.vm_id)
+            if i % 25 == 0:
+                self._assert_rows_match_live_plans(scheduler)
+        self._assert_rows_match_live_plans(scheduler)
+
+        # Drain everything: rows must be *exactly* zero, not approximately.
+        for vm_id in live:
+            scheduler.deallocate(vm_id)
+        ledger = scheduler.ledger
+        assert np.all(ledger.demand == 0.0)
+        assert np.all(ledger.pa_memory == 0.0)
+        assert np.all(ledger.va_demand == 0.0)
+        assert scheduler.servers_in_use() == 0
 
 
 class TestClusterScheduler:
@@ -201,6 +273,18 @@ class TestClusterScheduler:
         assert all(d.accepted for d in decisions)
         # Best-fit should pack all five small VMs onto a single server.
         assert scheduler.servers_in_use() == 1
+
+    def test_duplicate_placement_rejected_until_deallocated(self):
+        """Placing an already-placed vm_id must fail loudly (a silent
+        overwrite would leak the old server's committed demand), and succeed
+        again once the VM is deallocated."""
+        scheduler = self._scheduler()
+        plan = _plan("vm-a", TimeWindowConfig(4))
+        assert scheduler.place(plan).accepted
+        with pytest.raises(ValueError):
+            scheduler.place(_plan("vm-a", TimeWindowConfig(4)))
+        scheduler.deallocate("vm-a")
+        assert scheduler.place(_plan("vm-a", TimeWindowConfig(4))).accepted
 
     def test_rejection_when_full(self):
         scheduler = self._scheduler()
@@ -273,6 +357,42 @@ class TestClusterManager:
                                  NO_OVERSUBSCRIPTION_POLICY)
         summary = manager.capacity_summary()
         assert {"vms_placed", "servers_in_use", "allocated_cores"} <= set(summary)
+
+    def test_vms_on_server_index_tracks_admit_and_deallocate(self, tiny_trace):
+        """The server->vm index must stay consistent through deallocate and
+        reuse of the freed capacity by later arrivals."""
+        cluster_id = tiny_trace.cluster_ids()[0]
+        manager = ClusterManager(tiny_trace.fleet.get(cluster_id),
+                                 NO_OVERSUBSCRIPTION_POLICY)
+        vms = [vm for vm in tiny_trace.vms if vm.cluster_id == cluster_id][:12]
+        accepted = [r for r in manager.request_many(vms) if r.accepted]
+        assert len(accepted) >= 3
+
+        def index_snapshot():
+            by_server = {}
+            for coach_vm in manager.placed_vms().values():
+                by_server.setdefault(coach_vm.server_id, set()).add(coach_vm.vm_id)
+            return by_server
+
+        for server_id, expected in index_snapshot().items():
+            assert {vm.vm_id for vm in manager.vms_on_server(server_id)} == expected
+
+        # Deallocate one VM: it must vanish from its server's listing only.
+        victim = accepted[0]
+        manager.deallocate(victim.vm_id)
+        assert victim.vm_id not in {
+            vm.vm_id for vm in manager.vms_on_server(victim.server_id)}
+        for server_id, expected in index_snapshot().items():
+            assert {vm.vm_id for vm in manager.vms_on_server(server_id)} == expected
+
+        # Reuse: re-admit the same VM record; the index must pick it up on
+        # whichever server it now lands on.
+        again = manager.request_vm(victim.coach_vm.vm)
+        assert again.accepted
+        assert again.vm_id in {
+            vm.vm_id for vm in manager.vms_on_server(again.server_id)}
+        # Unknown server ids simply report no residents.
+        assert manager.vms_on_server("no-such-server") == []
 
     def test_build_prediction_model_variants(self, tiny_trace):
         history = tiny_trace.long_running().vms

@@ -1,0 +1,140 @@
+"""Equivalence of the vectorized violation replay and the seed loop.
+
+The dense :class:`VectorizedViolationMeter` must reproduce the seed
+per-server replay (:class:`ReferenceViolationMeter`) *exactly* -- identical
+``ViolationStats`` including the per-server breakdowns -- across randomized
+workloads with truncated telemetry, VMs straddling the start of the
+evaluation period, empty servers, and stale plan entries.  The same file
+pins the parallel multi-cluster driver: ``simulate_policy`` must return
+bitwise-identical ``PolicyEvaluation`` results for any parallelism level.
+"""
+
+import pytest
+
+from repro.core.policy import COACH_POLICY, NO_OVERSUBSCRIPTION_POLICY
+from repro.core.scheduler import ClusterScheduler
+from repro.simulator import SimulationConfig, ViolationStats, simulate_policy
+from repro.simulator.replay import (
+    ReferenceViolationMeter,
+    VectorizedViolationMeter,
+    get_violation_meter,
+)
+from repro.simulator.synthetic import build_placed_replay_state
+from repro.trace.hardware import ClusterConfig
+from repro.trace.timeseries import TimeWindowConfig
+
+WINDOWS = TimeWindowConfig(4)
+N_SLOTS = 200
+
+SMALL_CLUSTER = ClusterConfig("VQ", "test", (("gen4-intel", 4), ("gen6-amd", 2)))
+
+
+def _random_placed_state(seed, n_vms=120):
+    """Randomized scheduler + telemetry state for the differential tests.
+
+    The workload deliberately includes: series covering only part of the
+    lifetime (truncated telemetry), lifetimes overrunning the evaluation
+    window, committed plans whose VM never lands in ``placed`` (stale
+    entries), interleaved deallocations, and servers without any plans
+    (the cluster is never filled).
+    """
+    return build_placed_replay_state(
+        SMALL_CLUSTER, WINDOWS, n_vms, N_SLOTS, seed=seed,
+        lifetime_range=(5, 120), start_margin=10, max_end_overshoot=20,
+        config_names=("D1_v5", "D2_v5", "D4_v5", "E2_v5"),
+        util_max_range=(0.1, 0.9), util_pct_range=(0.05, 0.6),
+        full_coverage_probability=0.6, stale_plan_probability=0.05,
+        churn_probability=0.2)
+
+
+class TestMeterEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 2024])
+    def test_randomized_traces_produce_identical_stats(self, seed):
+        servers, placed = _random_placed_state(seed)
+        reference = ReferenceViolationMeter().measure(servers, placed, 0, N_SLOTS, 0.5)
+        vectorized = VectorizedViolationMeter().measure(servers, placed, 0, N_SLOTS, 0.5)
+        # Exact dataclass equality: fractions, totals, and per-server counts.
+        assert vectorized == reference
+        assert reference.observed_server_slots > 0
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_vms_straddling_placement_start(self, seed):
+        """Evaluation starting mid-trace clamps lifetimes and series alike."""
+        servers, placed = _random_placed_state(seed)
+        start = N_SLOTS // 3
+        reference = ReferenceViolationMeter().measure(servers, placed, start, N_SLOTS, 0.5)
+        vectorized = VectorizedViolationMeter().measure(servers, placed, start, N_SLOTS, 0.5)
+        assert vectorized == reference
+        # The workload must actually contain straddlers for this to bite.
+        assert any(vm.start_slot < start < vm.end_slot for vm in placed.values())
+
+    def test_empty_state(self):
+        servers = list(ClusterScheduler(SMALL_CLUSTER, WINDOWS).servers.values())
+        reference = ReferenceViolationMeter().measure(servers, {}, 0, N_SLOTS, 0.5)
+        vectorized = VectorizedViolationMeter().measure(servers, {}, 0, N_SLOTS, 0.5)
+        assert vectorized == reference
+        assert reference.observed_server_slots == 0
+        assert reference.per_server_observed == {}
+
+    def test_empty_evaluation_window(self):
+        servers, placed = _random_placed_state(5)
+        reference = ReferenceViolationMeter().measure(servers, placed, N_SLOTS, N_SLOTS, 0.5)
+        vectorized = VectorizedViolationMeter().measure(servers, placed, N_SLOTS, N_SLOTS, 0.5)
+        assert vectorized == reference
+        assert reference.observed_server_slots == 0
+
+    def test_per_server_totals_are_consistent(self):
+        servers, placed = _random_placed_state(9)
+        stats = VectorizedViolationMeter().measure(servers, placed, 0, N_SLOTS, 0.5)
+        assert sum(stats.per_server_observed.values()) == stats.observed_server_slots
+        assert sum(stats.per_server_cpu_violations.values()) == stats.cpu_violation_slots
+        assert sum(stats.per_server_memory_violations.values()) == stats.memory_violation_slots
+        for server_id, observed in stats.per_server_observed.items():
+            assert stats.per_server_cpu_violations[server_id] <= observed
+            assert stats.per_server_memory_violations[server_id] <= observed
+
+    def test_unknown_meter_name_raises(self):
+        with pytest.raises(KeyError):
+            get_violation_meter("bogus")
+
+    def test_merge_rejects_duplicate_server_ids(self):
+        """Merging the same cluster twice must fail loudly, not drop counts."""
+        part = ViolationStats.from_counts({"C1-s000": 10}, {"C1-s000": 2},
+                                          {"C1-s000": 0})
+        with pytest.raises(ValueError):
+            ViolationStats.merge([part, part])
+
+
+class TestEngineEquivalence:
+    def test_full_simulation_matches_across_meters(self, small_trace):
+        """End to end: the engine's two replay paths agree on a real trace."""
+        cluster = small_trace.cluster_ids()[0]
+        evaluations = {}
+        for meter in ("vectorized", "reference"):
+            config = SimulationConfig(clusters=[cluster], oracle_predictions=True,
+                                      violation_meter=meter)
+            evaluations[meter] = simulate_policy(small_trace, COACH_POLICY, config)
+        assert evaluations["vectorized"] == evaluations["reference"]
+        assert evaluations["vectorized"].violations.observed_server_slots > 0
+
+
+class TestParallelDriver:
+    def test_parallelism_is_bitwise_identical(self, small_trace):
+        """k=1 and k>1 return the same PolicyEvaluation, field for field."""
+        clusters = small_trace.cluster_ids()[:3]
+        assert len(clusters) >= 2
+        config = SimulationConfig(clusters=clusters, oracle_predictions=True)
+        serial = simulate_policy(small_trace, COACH_POLICY, config, parallelism=1)
+        threaded = simulate_policy(small_trace, COACH_POLICY, config, parallelism=4)
+        assert serial == threaded
+
+    def test_parallelism_config_knob(self, small_trace):
+        clusters = small_trace.cluster_ids()[:2]
+        serial = simulate_policy(
+            small_trace, NO_OVERSUBSCRIPTION_POLICY,
+            SimulationConfig(clusters=clusters, parallelism=1))
+        threaded = simulate_policy(
+            small_trace, NO_OVERSUBSCRIPTION_POLICY,
+            SimulationConfig(clusters=clusters, parallelism=2))
+        assert serial == threaded
+        assert serial.requested_vms > 0
