@@ -8,13 +8,41 @@ to micro-benchmark hot loops.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 import pytest
 
+# Re-exported for the benchmark modules: the knob parser lives beside the
+# shared measurement harnesses so scripts/run_benchmarks.py reads it
+# identically.  Shared CI runners cannot guarantee speedup ratios (noisy
+# neighbours, 1-2 vCPUs), so the smoke run keeps exercising every benchmark
+# code path and printing the observed numbers but only *warns* when a ratio
+# misses its local threshold.
+from repro.simulator.benchmarking import bench_smoke_enabled  # noqa: F401
 from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
 
 _BENCH_DIR = Path(__file__).resolve().parent
+
+
+class BenchSmokeWarning(UserWarning):
+    """A perf threshold was relaxed instead of enforced (smoke mode)."""
+
+
+def assert_perf(condition: bool, message: str, *, relax: bool = False) -> None:
+    """Performance assertion, downgraded to :class:`BenchSmokeWarning` under
+    ``REPRO_BENCH_SMOKE=1`` (or when *relax* says the machine cannot
+    demonstrate the ratio, e.g. a parallel speedup on a single-CPU box).
+    Correctness assertions must stay plain ``assert`` -- only ratios and
+    wall-clock thresholds belong here.
+    """
+    if condition:
+        return
+    if bench_smoke_enabled() or relax:
+        warnings.warn(f"relaxed perf threshold: {message}", BenchSmokeWarning,
+                      stacklevel=2)
+        return
+    raise AssertionError(message)
 
 
 def pytest_collection_modifyitems(items):

@@ -1,7 +1,6 @@
 """Ablation benches for the design choices called out in DESIGN.md."""
-import numpy as np
 from conftest import run_once
-from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.resources import ALL_RESOURCES
 from repro.core.windows import (
     multiplexed_oversubscribed_memory,
     plan_vm,

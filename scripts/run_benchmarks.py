@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Run the perf-tracking benchmarks and emit a machine-readable JSON record.
+
+Writes ``BENCH_<date>.json`` (see ``--output-dir``) with the headline
+performance numbers tracked PR over PR:
+
+* placement throughput (plans/s) of the vectorized scheduler,
+* replay throughput (observed server-slots/s) of the vectorized meter,
+* policy-sweep wall-clock, serial vs. process pool, with a bitwise
+  equality check between the two,
+* peak replay memory (tracemalloc bytes) for dense vs. chunked streaming
+  replay, plus the process high-water RSS.
+
+The workloads are the same builders the ``benchmarks/`` suite uses
+(:mod:`repro.simulator.synthetic`), so numbers are comparable with the
+pytest benchmarks.  ``REPRO_BENCH_SMOKE=1`` (or ``--smoke``) shrinks the
+workloads for shared CI runners; the JSON records which mode produced it.
+
+Usage::
+
+    python scripts/run_benchmarks.py [--output-dir DIR] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.scheduler import ClusterScheduler
+from repro.simulator.replay import VectorizedViolationMeter
+
+# Workloads AND measurement harnesses are shared with the benchmarks/
+# suite via repro.simulator.synthetic / repro.simulator.benchmarking, so
+# the JSON trajectory and the pytest benchmark numbers cannot silently
+# diverge.
+from repro.simulator.benchmarking import (
+    bench_smoke_enabled,
+    measure_replay_memory,
+    measure_sweep_serial_vs_pool,
+)
+from repro.simulator.synthetic import (
+    BENCH_CHUNK_SLOTS,
+    BENCH_WINDOWS,
+    SCALE_BENCH_CLUSTER,
+    build_chunked_bench_state,
+    build_placement_bench_plans,
+    build_replay_scale_state,
+    generate_sweep_bench_trace,
+)
+
+
+def measure_placement(smoke: bool) -> dict:
+    """Plans/s of the vectorized scheduler on the 200-server cluster."""
+    plans = build_placement_bench_plans(smoke=smoke)
+    scheduler = ClusterScheduler(SCALE_BENCH_CLUSTER, BENCH_WINDOWS)
+    begin = time.perf_counter()
+    for plan in plans:
+        scheduler.place(plan)
+    seconds = time.perf_counter() - begin
+    return {
+        "n_plans": len(plans),
+        "n_servers": SCALE_BENCH_CLUSTER.server_count,
+        "accepted": scheduler.accepted_count(),
+        "seconds": seconds,
+        "plans_per_second": len(plans) / seconds,
+    }
+
+
+def measure_replay(smoke: bool) -> dict:
+    """Observed server-slots/s of the vectorized violation meter."""
+    servers, placed, n_slots = build_replay_scale_state(smoke=smoke)
+    meter = VectorizedViolationMeter()
+    meter.measure(servers, placed, 0, n_slots, 0.5)  # warm-up
+    begin = time.perf_counter()
+    stats = meter.measure(servers, placed, 0, n_slots, 0.5)
+    seconds = time.perf_counter() - begin
+    return {
+        "n_vms": len(placed),
+        "n_slots": n_slots,
+        "observed_server_slots": stats.observed_server_slots,
+        "seconds": seconds,
+        "server_slots_per_second": stats.observed_server_slots / seconds,
+    }
+
+
+def measure_sweep(smoke: bool) -> dict:
+    """Wall-clock of the standard-policy sweep, serial vs. process pool."""
+    trace = generate_sweep_bench_trace(smoke=smoke)
+    outcome = measure_sweep_serial_vs_pool(trace)
+    results = outcome.pop("results")
+    outcome["trace_slots"] = trace.n_slots
+    evaluations = {}
+    for name, evaluation in results.items():
+        evaluations[name] = evaluation.to_dict()
+    outcome["evaluations"] = evaluations
+    return outcome
+
+
+def measure_chunked_replay(smoke: bool) -> dict:
+    """Peak replay memory: dense vs. chunked streaming on a multi-week state."""
+    servers, placed, n_slots = build_chunked_bench_state(smoke=smoke)
+    outcome = measure_replay_memory(servers, placed, n_slots, BENCH_CHUNK_SLOTS)
+    outcome["n_vms"] = len(placed)
+    outcome["n_slots"] = n_slots
+    outcome["ru_maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return outcome
+
+
+def git_revision() -> str:
+    command = ["git", "rev-parse", "--short", "HEAD"]
+    try:
+        out = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parents[1],
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def smoke_requested(args: argparse.Namespace) -> bool:
+    return args.smoke or bench_smoke_enabled()
+
+
+def print_summary(record: dict) -> None:
+    placement = record["placement"]
+    replay = record["replay"]
+    sweep = record["sweep"]
+    chunked = record["chunked_replay"]
+    dense_mb = chunked["dense_peak_bytes"] / 1e6
+    chunked_mb = chunked["chunked_peak_bytes"] / 1e6
+    print(f"  placement  {placement['plans_per_second']:12.0f} plans/s")
+    print(f"  replay     {replay['server_slots_per_second']:12.0f} server-slots/s")
+    print(f"  sweep      serial {sweep['serial_seconds']:.2f}s", end="")
+    print(f"  pool {sweep['pool_seconds']:.2f}s", end="")
+    print(f"  ({sweep['workers']} workers, {sweep['speedup']:.2f}x)")
+    print(f"  chunked    peak {chunked_mb:.1f} MB vs dense {dense_mb:.1f} MB", end="")
+    print(f"  ({chunked['peak_reduction']:.1f}x reduction)")
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for the BENCH_<date>.json record (default: cwd)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink workloads for CI (REPRO_BENCH_SMOKE=1 implies this)",
+    )
+    args = parser.parse_args(argv)
+    smoke = smoke_requested(args)
+
+    print(f"running perf benchmarks (smoke={smoke}) ...")
+    record = {
+        "date": datetime.date.today().isoformat(),
+        "git_revision": git_revision(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "placement": measure_placement(smoke),
+        "replay": measure_replay(smoke),
+        "sweep": measure_sweep(smoke),
+        "chunked_replay": measure_chunked_replay(smoke),
+    }
+    print_summary(record)
+
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    output_path = output_dir / f"BENCH_{record['date']}.json"
+    output_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,6 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.core.resources import Resource
-from repro.trace.timeseries import SLOTS_PER_DAY, SLOTS_PER_HOUR
 from repro.trace.trace import Trace
 
 #: Duration thresholds of Figure 2, in hours.

@@ -9,7 +9,7 @@ without oversubscription (conservative default, G2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.coachvm import CoachVM

@@ -10,7 +10,7 @@ These harnesses measure the equivalents on this reproduction's substrate.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -25,6 +25,11 @@ from repro.simulator.replay import (
     VectorizedViolationMeter,
     get_violation_meter,
 )
+from repro.simulator.sweep import (
+    PolicySweepError,
+    SweepTask,
+    sweep_policies,
+)
 
 __all__ = [
     "ClusterRunResult",
@@ -33,10 +38,12 @@ __all__ = [
     "MitigationTimeline",
     "PAGING_BANDWIDTH_GBPS",
     "PolicyEvaluation",
+    "PolicySweepError",
     "PredictionAccuracy",
     "ReferenceViolationMeter",
     "ServerMemoryModel",
     "SimulationConfig",
+    "SweepTask",
     "VIOLATION_METERS",
     "VectorizedViolationMeter",
     "ViolationStats",
@@ -44,4 +51,5 @@ __all__ = [
     "evaluate_policies",
     "get_violation_meter",
     "simulate_policy",
+    "sweep_policies",
 ]

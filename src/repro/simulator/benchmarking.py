@@ -1,0 +1,131 @@
+"""Shared measurement harnesses for the perf-tracking benchmarks.
+
+``benchmarks/test_bench_sweep_scale.py`` and ``scripts/run_benchmarks.py``
+must measure the same thing the same way, or the ``BENCH_<date>.json``
+trajectory silently stops being comparable with the pytest benchmark
+numbers.  The workload *builders* live in :mod:`repro.simulator.synthetic`
+for that reason; the measurement *harnesses* (worker sizing, wall-clock
+pairing, tracemalloc peaks, and the bitwise divergence checks) live here
+for the same one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from dataclasses import replace
+from typing import Dict, Iterable, Optional
+
+from repro.core.scheduler import ServerAccount
+from repro.simulator.engine import SimulationConfig
+from repro.simulator.replay import VectorizedViolationMeter
+from repro.simulator.sweep import sweep_policies
+from repro.trace.trace import Trace
+from repro.trace.vm import VMRecord
+
+
+#: Values that switch smoke mode on; anything else (including "false",
+#: "no", "off") leaves the benchmarks at full strength, so a developer
+#: exporting a falsy-looking value cannot silently disable enforcement.
+_SMOKE_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def bench_smoke_enabled() -> bool:
+    """Whether benchmark smoke mode is on (``REPRO_BENCH_SMOKE=1``).
+
+    The single source of truth for the knob: the pytest benchmarks (via
+    ``benchmarks/conftest.py``) and ``scripts/run_benchmarks.py`` must
+    parse it identically or the two would measure different workload sizes
+    in the same CI run.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in _SMOKE_TRUTHY
+
+
+def sweep_bench_workers() -> int:
+    """Worker count for the sweep wall-clock measurements: at least 2 so
+    the process-pool path (and its bitwise merge) is exercised even on
+    single-CPU machines, at most 4 (the standard policy count)."""
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def measure_sweep_serial_vs_pool(trace: Trace, *, n_clusters: int = 3,
+                                 n_estimators: int = 3,
+                                 workers: Optional[int] = None) -> Dict[str, object]:
+    """Time the standard-policy sweep serially and with a process pool.
+
+    Raises ``AssertionError`` if the pool merge diverges from the serial
+    walk -- the differential check at scale.  The returned mapping carries
+    the wall-clocks, the speedup, and (under ``"results"``) the serial
+    PolicyEvaluations for callers that want the numbers themselves.
+    """
+    clusters = trace.cluster_ids()[:n_clusters]
+    if workers is None:
+        workers = sweep_bench_workers()
+    serial_config = SimulationConfig(clusters=clusters, n_estimators=n_estimators)
+    pool_config = replace(serial_config, sweep_parallelism=workers)
+
+    begin = time.perf_counter()
+    serial = sweep_policies(trace, config=serial_config)
+    serial_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    pooled = sweep_policies(trace, config=pool_config)
+    pool_seconds = time.perf_counter() - begin
+
+    if list(serial) != list(pooled):
+        raise AssertionError("process-pool sweep reordered the policy results")
+    for name in serial:
+        if serial[name] != pooled[name]:
+            raise AssertionError(
+                f"process-pool sweep diverged from serial for policy {name!r}")
+    return {
+        "policies": list(serial),
+        "n_clusters": len(clusters),
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "pool_seconds": pool_seconds,
+        "speedup": serial_seconds / pool_seconds,
+        "bitwise_identical": True,
+        "results": serial,
+    }
+
+
+def measure_replay_memory(servers: Iterable[ServerAccount],
+                          placed: Dict[str, VMRecord], n_slots: int,
+                          chunk_slots: int,
+                          cpu_contention_fraction: float = 0.5) -> Dict[str, object]:
+    """Peak traced memory and wall-clock of dense vs. chunked replay.
+
+    tracemalloc traces every allocation, so for a fixed workload the peaks
+    are deterministic.  Raises ``AssertionError`` if the chunked stats
+    diverge from the dense ones.
+    """
+    # Both passes iterate the servers; materialize so a generator argument
+    # cannot arrive exhausted at the second pass.
+    servers = list(servers)
+
+    def replay(meter: VectorizedViolationMeter):
+        tracemalloc.start()
+        begin = time.perf_counter()
+        stats = meter.measure(servers, placed, 0, n_slots,
+                              cpu_contention_fraction)
+        seconds = time.perf_counter() - begin
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return stats, peak, seconds
+
+    dense_stats, dense_peak, dense_seconds = replay(VectorizedViolationMeter())
+    chunked_stats, chunked_peak, chunked_seconds = replay(
+        VectorizedViolationMeter(chunk_slots=chunk_slots))
+    if chunked_stats != dense_stats:
+        raise AssertionError("chunked replay diverged from dense replay")
+    return {
+        "chunk_slots": chunk_slots,
+        "observed_server_slots": dense_stats.observed_server_slots,
+        "dense_peak_bytes": dense_peak,
+        "dense_seconds": dense_seconds,
+        "chunked_peak_bytes": chunked_peak,
+        "chunked_seconds": chunked_seconds,
+        "peak_reduction": dense_peak / max(1, chunked_peak),
+    }

@@ -16,7 +16,10 @@ Clusters are fully independent (each has its own manager, scheduler, and
 ledger), so :func:`simulate_policy` can fan them out across a
 ``concurrent.futures`` thread pool (``SimulationConfig.parallelism``).
 Results are aggregated in cluster-id order regardless of completion order,
-so the evaluation is bitwise identical for any parallelism level.
+so the evaluation is bitwise identical for any parallelism level.  Whole
+*policies* are fanned out across worker processes by
+:mod:`repro.simulator.sweep` (``SimulationConfig.sweep_parallelism``),
+which :func:`evaluate_policies` delegates to.
 """
 
 from __future__ import annotations
@@ -27,9 +30,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster_manager import ClusterManager, build_prediction_model
-from repro.core.policy import PolicyConfig, STANDARD_POLICIES
+from repro.core.policy import PolicyConfig
 from repro.core.resources import Resource
-from repro.simulator.metrics import PolicyEvaluation, ViolationStats, compare_policies
+from repro.simulator.metrics import PolicyEvaluation, ViolationStats
 from repro.simulator.replay import get_violation_meter
 from repro.trace.timeseries import SLOTS_PER_DAY
 from repro.trace.trace import Trace
@@ -61,9 +64,19 @@ class SimulationConfig:
     #: Violation replay engine: ``"vectorized"`` (default) or ``"reference"``
     #: (the seed per-server loop, kept for differential testing).
     violation_meter: str = "vectorized"
+    #: Slot-axis tile width for the vectorized meter's chunked streaming
+    #: mode (``None`` = dense, the full evaluation window in one tile).
+    #: Bounds peak replay memory at ``O(n_servers * replay_chunk_slots)``
+    #: for multi-week traces; any value yields bitwise-identical results.
+    replay_chunk_slots: Optional[int] = None
     #: Number of clusters simulated concurrently by :func:`simulate_policy`
     #: (1 = strictly serial).  Any value yields bitwise-identical results.
     parallelism: int = 1
+    #: Number of worker *processes* used by :func:`evaluate_policies` to fan
+    #: out whole policies (1 = serial).  Processes sidestep the GIL for the
+    #: forest-training phase threads cannot speed up; any value yields
+    #: bitwise-identical results (see :mod:`repro.simulator.sweep`).
+    sweep_parallelism: int = 1
 
 
 @dataclass
@@ -83,9 +96,10 @@ class ClusterSimulation:
         self.cluster_id = cluster_id
         self.policy = policy
         self.config = config
-        # Resolve the replay engine up front so a mistyped meter name fails
-        # before any (expensive) arrival replay runs.
-        self._violation_meter = get_violation_meter(config.violation_meter)
+        # Resolve the replay engine up front so a mistyped meter name or a
+        # bad chunk size fails before any (expensive) arrival replay runs.
+        self._violation_meter = get_violation_meter(
+            config.violation_meter, chunk_slots=config.replay_chunk_slots)
         self.manager = ClusterManager(
             trace.fleet.get(cluster_id), policy, prediction_model,
             conservative_admission=config.conservative_admission)
@@ -153,7 +167,8 @@ def simulate_policy(trace: Trace, policy: PolicyConfig,
     if parallelism is None:
         parallelism = config.parallelism
     # Fail fast on a mistyped meter name, before model training and replay.
-    get_violation_meter(config.violation_meter)
+    get_violation_meter(config.violation_meter,
+                        chunk_slots=config.replay_chunk_slots)
 
     if prediction_model is None:
         history, _future = trace.split_at(config.history_end_slot)
@@ -229,11 +244,13 @@ def evaluate_policies(trace: Trace,
     """Evaluate several policies on the same trace (Figure 20).
 
     Returns a mapping from policy name to its evaluation, with additional
-    capacity computed relative to the ``none`` policy when present.
+    capacity computed relative to the ``none`` policy when present.  The
+    sweep fans one policy per worker process when
+    ``config.sweep_parallelism > 1`` and is bitwise identical to the serial
+    walk for any worker count; see :mod:`repro.simulator.sweep` for the
+    orchestration (the import is deferred because sweep builds on this
+    module's :func:`simulate_policy`).
     """
-    policies = dict(policies or STANDARD_POLICIES)
-    results = {name: simulate_policy(trace, policy, config)
-               for name, policy in policies.items()}
-    if "none" in results:
-        compare_policies(results, baseline="none")
-    return results
+    from repro.simulator.sweep import sweep_policies
+
+    return sweep_policies(trace, policies, config)

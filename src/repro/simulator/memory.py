@@ -19,7 +19,7 @@ VM away.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.coachvm import CoachVM
 from repro.core.mitigation import MIGRATION_BANDWIDTH_GBPS

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 
@@ -84,6 +84,11 @@ class ViolationStats:
                 "(was the same cluster simulated twice?)")
         return cls.from_counts(observed, cpu, mem)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (plain ints/floats/dicts), used by the
+        benchmark-tracking script and report generators."""
+        return asdict(self)
+
 
 @dataclass
 class PolicyEvaluation:
@@ -112,6 +117,10 @@ class PolicyEvaluation:
     @property
     def acceptance_rate(self) -> float:
         return self.accepted_vms / max(1, self.requested_vms)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form, including the nested ViolationStats."""
+        return asdict(self)
 
 
 def compare_policies(results: Dict[str, PolicyEvaluation],

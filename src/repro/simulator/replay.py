@@ -11,22 +11,35 @@ violations.  Two interchangeable meters implement that accounting:
 * :class:`VectorizedViolationMeter` -- the dense formulation: every placed
   VM's CPU/memory demand segments are materialized once and scatter-added
   into ``(n_servers, n_slots)`` demand matrices via a single ``bincount``
-  over precomputed flat ``server * n_slots + slot`` indices; occupancy uses
-  the interval difference-array trick; violations for all servers fall out
-  of one broadcasted comparison against the per-server capacity vectors.
+  over flat ``server * n_slots + slot`` indices; occupancy uses the
+  interval difference-array trick; violations for all servers fall out of
+  one broadcasted comparison against the per-server capacity vectors.
+
+The vectorized meter also has a **chunked streaming mode**
+(``VectorizedViolationMeter(chunk_slots=...)``, wired to
+``SimulationConfig.replay_chunk_slots``): the slot axis is tiled into
+bounded ``(n_servers, chunk_slots)`` blocks and each VM demand segment is
+clipped to the chunk it lands in, so peak replay memory is
+``O(n_servers * chunk_slots)`` instead of ``O(n_servers * n_slots)`` --
+the difference between a day and a multi-week production trace.  Violation
+*counts* are exact integers per chunk, and the per-slot float demand sums
+are accumulated in the same segment order inside every chunk, so the
+chunked mode is bitwise identical to the dense one (and therefore to the
+reference), not merely close.
 
 The vectorized meter is arranged to be *bitwise* identical to the reference,
 not merely close: segments are emitted in the same (server, VM) iteration
 order the reference uses, and ``np.bincount`` accumulates its weights
 sequentially in input order, so every per-slot float addition happens in the
 same order as the reference loop's ``demand[lo:hi] += series * allocated``.
-The differential test (``tests/test_violation_equivalence.py``) asserts exact
-equality of the resulting :class:`ViolationStats`.
+The differential tests (``tests/test_violation_equivalence.py`` and
+``tests/test_chunked_replay.py``) assert exact equality of the resulting
+:class:`ViolationStats` across meters and chunk sizes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -102,8 +115,8 @@ class ReferenceViolationMeter:
         return ViolationStats.from_counts(observed, cpu_counts, mem_counts)
 
 
-def _scatter_add(chunks: List[np.ndarray], dest_starts: List[int],
-                 chunk_lengths: List[int], allocations: List[float],
+def _scatter_add(chunks: Sequence[np.ndarray], dest_starts: Sequence[int],
+                 chunk_lengths: Sequence[int], allocations: Sequence[float],
                  size: int) -> np.ndarray:
     """Scatter-add variable-length demand segments into a flat accumulator.
 
@@ -114,7 +127,7 @@ def _scatter_add(chunks: List[np.ndarray], dest_starts: List[int],
     iteration order keeps the per-slot accumulation order -- and therefore
     the float results -- bitwise identical to the reference loop.
     """
-    if not chunks:
+    if not len(chunks):
         return np.zeros(size)
     lengths = np.asarray(chunk_lengths, dtype=np.intp)
     total = int(lengths.sum())
@@ -130,14 +143,100 @@ def _scatter_add(chunks: List[np.ndarray], dest_starts: List[int],
     return np.bincount(indices, weights=values, minlength=size)
 
 
-class VectorizedViolationMeter:
-    """Dense scatter-add violation replay.
+class _SegmentTable:
+    """Demand segments for one resource, in reference iteration order.
 
-    One Python pass gathers each placed VM's demand segments (a raw slice of
-    the utilization series plus a flat destination index); everything after
-    that -- scaling, accumulation, occupancy, and the capacity comparisons
-    for every server -- is a handful of whole-array numpy operations.
+    ``values[i]`` is a *view* into VM ``i``'s utilization series (no copy);
+    ``rows[i]``/``lo[i]``/``hi[i]`` give the segment's server row and its
+    absolute slot range, and ``alloc[i]`` the VM's allocated resource.  The
+    table is built once per measurement and then sliced per slot-chunk, so
+    gathering cost is paid once regardless of the chunk count.
     """
+
+    __slots__ = ("values", "rows", "lo", "hi", "alloc",
+                 "_rows", "_lo", "_hi", "_alloc", "_min_lo", "_max_hi")
+
+    def __init__(self) -> None:
+        self.values: List[np.ndarray] = []
+        self.rows: List[int] = []
+        self.lo: List[int] = []
+        self.hi: List[int] = []
+        self.alloc: List[float] = []
+
+    def freeze(self) -> None:
+        """Convert the metadata lists to arrays once gathering is done."""
+        self._rows = np.asarray(self.rows, dtype=np.intp)
+        self._lo = np.asarray(self.lo, dtype=np.intp)
+        self._hi = np.asarray(self.hi, dtype=np.intp)
+        self._alloc = np.asarray(self.alloc, dtype=np.float64)
+        self._min_lo = int(self._lo.min()) if self._lo.size else 0
+        self._max_hi = int(self._hi.max()) if self._hi.size else 0
+
+    def demand(self, chunk_lo: int, chunk_hi: int, n_rows: int) -> np.ndarray:
+        """(n_rows, chunk_width) demand accumulated over ``[chunk_lo, chunk_hi)``.
+
+        Segments are clipped to the chunk; within the chunk they keep their
+        gathering order, so each slot's float accumulation order -- and
+        therefore its sum -- is identical to the dense single-chunk pass.
+        """
+        width = chunk_hi - chunk_lo
+        size = n_rows * width
+        if not self.values:
+            return np.zeros((n_rows, width))
+        if chunk_lo <= self._min_lo and chunk_hi >= self._max_hi:
+            # Fast path (the dense mode): no segment needs clipping.
+            dest = self._rows * width + (self._lo - chunk_lo)
+            flat = _scatter_add(self.values, dest, self._hi - self._lo,
+                                self._alloc, size)
+            return flat.reshape(n_rows, width)
+        inside = np.nonzero((self._lo < chunk_hi) & (self._hi > chunk_lo))[0]
+        if inside.size == 0:
+            return np.zeros((n_rows, width))
+        clip_lo = np.maximum(self._lo[inside], chunk_lo)
+        clip_hi = np.minimum(self._hi[inside], chunk_hi)
+        dest = self._rows[inside] * width + (clip_lo - chunk_lo)
+        values = self.values
+        seg_lo = self._lo
+        chunks = [values[i][cl - seg_lo[i]:ch - seg_lo[i]]
+                  for i, cl, ch in zip(inside.tolist(), clip_lo.tolist(),
+                                       clip_hi.tolist())]
+        flat = _scatter_add(chunks, dest, clip_hi - clip_lo,
+                            self._alloc[inside], size)
+        return flat.reshape(n_rows, width)
+
+
+def _chunk_ranges(start: int, end: int,
+                  chunk_slots: Optional[int]) -> Iterator[Tuple[int, int]]:
+    """Tile ``[start, end)`` into ``chunk_slots``-wide ranges (one tile when
+    ``chunk_slots`` is None -- the dense mode)."""
+    if chunk_slots is None:
+        yield start, end
+        return
+    lo = start
+    while lo < end:
+        yield lo, min(lo + chunk_slots, end)
+        lo += chunk_slots
+
+
+class VectorizedViolationMeter:
+    """Dense scatter-add violation replay, optionally chunked over slots.
+
+    One Python pass gathers each placed VM's demand segments (raw views of
+    the utilization series plus server-row/slot-range metadata); everything
+    after that -- scaling, accumulation, occupancy, and the capacity
+    comparisons for every server -- is a handful of whole-array numpy
+    operations per slot-chunk.  With ``chunk_slots=None`` (the default) a
+    single chunk covers the whole evaluation window: the dense mode.  With
+    a bound, peak memory is ``O(n_servers * chunk_slots)`` while the counts
+    stay bitwise identical (violations are integer counts per chunk, and
+    per-slot demand sums keep their accumulation order inside each chunk).
+    """
+
+    def __init__(self, chunk_slots: Optional[int] = None):
+        if chunk_slots is not None and chunk_slots < 1:
+            raise ValueError(
+                f"chunk_slots must be a positive slot count, got {chunk_slots}")
+        self.chunk_slots = chunk_slots
 
     def measure(self, servers: Iterable[ServerAccount],
                 placed: Dict[str, VMRecord],
@@ -153,40 +252,35 @@ class VectorizedViolationMeter:
         capacity_cpu, backing = bulk_cpu_capacity_and_memory_backing(active)
 
         # One lean Python pass over the placed VMs gathers raw series slices
-        # and flat destination indices; everything numeric happens afterwards
-        # in whole-array operations.  The loop deliberately avoids the
-        # per-call conveniences of the reference (``vm.series()`` lookups,
-        # ``vm.allocated()`` building a ResourceVector per call, numpy scalar
-        # indexing): at 5k VMs those dominate the replay cost.
-        cpu_chunks: List[np.ndarray] = []
-        cpu_starts: List[int] = []
-        cpu_lens: List[int] = []
-        cpu_alloc: List[float] = []
-        mem_chunks: List[np.ndarray] = []
-        mem_starts: List[int] = []
-        mem_lens: List[int] = []
-        mem_alloc: List[float] = []
-        # Occupancy difference indices: +1 at interval start, -1 one past the
-        # end; the running sum > 0 marks occupied slots.  Rows are padded by
-        # one column to absorb intervals ending at n_slots.
-        occ_plus: List[int] = []
-        occ_minus: List[int] = []
+        # plus (row, slot-range) metadata; everything numeric happens
+        # afterwards in whole-array operations.  The loop deliberately avoids
+        # the per-call conveniences of the reference (``vm.series()``
+        # lookups, ``vm.allocated()`` building a ResourceVector per call,
+        # numpy scalar indexing): at 5k VMs those dominate the replay cost.
+        cpu_table = _SegmentTable()
+        mem_table = _SegmentTable()
+        # Occupancy intervals (server row, absolute [lo, hi) slot range);
+        # each chunk turns its clipped intervals into a difference array.
+        occ_rows: List[int] = []
+        occ_lo: List[int] = []
+        occ_hi: List[int] = []
 
         cpu_resource, mem_resource = Resource.CPU, Resource.MEMORY
         placed_get = placed.get
-        cpu_chunks_append = cpu_chunks.append
-        cpu_starts_append = cpu_starts.append
-        cpu_lens_append = cpu_lens.append
-        cpu_alloc_append = cpu_alloc.append
-        mem_chunks_append = mem_chunks.append
-        mem_starts_append = mem_starts.append
-        mem_lens_append = mem_lens.append
-        mem_alloc_append = mem_alloc.append
-        occ_plus_append = occ_plus.append
-        occ_minus_append = occ_minus.append
+        cpu_values_append = cpu_table.values.append
+        cpu_rows_append = cpu_table.rows.append
+        cpu_lo_append = cpu_table.lo.append
+        cpu_hi_append = cpu_table.hi.append
+        cpu_alloc_append = cpu_table.alloc.append
+        mem_values_append = mem_table.values.append
+        mem_rows_append = mem_table.rows.append
+        mem_lo_append = mem_table.lo.append
+        mem_hi_append = mem_table.hi.append
+        mem_alloc_append = mem_table.alloc.append
+        occ_rows_append = occ_rows.append
+        occ_lo_append = occ_lo.append
+        occ_hi_append = occ_hi.append
         for row, server in enumerate(active):
-            row_base = row * n_slots - start
-            occ_base = row * (n_slots + 1) - start
             for vm_id in server.plans:
                 vm = placed_get(vm_id)
                 if vm is None:
@@ -212,10 +306,11 @@ class VectorizedViolationMeter:
                 seg_lo = lo if lo > series_start else series_start
                 seg_hi = hi if hi < series_end else series_end
                 if seg_hi > seg_lo:
-                    cpu_chunks_append(values[seg_lo - series_start:
+                    cpu_values_append(values[seg_lo - series_start:
                                              seg_hi - series_start])
-                    cpu_starts_append(row_base + seg_lo)
-                    cpu_lens_append(seg_hi - seg_lo)
+                    cpu_rows_append(row)
+                    cpu_lo_append(seg_lo)
+                    cpu_hi_append(seg_hi)
                     cpu_alloc_append(config.cores)
                 mem_values = mem_series.values
                 mem_start = mem_series.start_slot
@@ -225,47 +320,74 @@ class VectorizedViolationMeter:
                     seg_lo = lo if lo > mem_start else mem_start
                     seg_hi = hi if hi < series_end else series_end
                 if seg_hi > seg_lo:
-                    mem_chunks_append(mem_values[seg_lo - mem_start:
+                    mem_values_append(mem_values[seg_lo - mem_start:
                                                  seg_hi - mem_start])
-                    mem_starts_append(row_base + seg_lo)
-                    mem_lens_append(seg_hi - seg_lo)
+                    mem_rows_append(row)
+                    mem_lo_append(seg_lo)
+                    mem_hi_append(seg_hi)
                     mem_alloc_append(config.memory_gb)
-                occ_plus_append(occ_base + lo)
-                occ_minus_append(occ_base + hi)
+                occ_rows_append(row)
+                occ_lo_append(lo)
+                occ_hi_append(hi)
 
-        if not occ_plus:
+        if not occ_rows:
             # Servers hold plans but none of the placed VMs overlap the
             # evaluation period -- every row is unoccupied, as in the
             # reference loop's ``occupied == 0`` skip.
             return ViolationStats.from_counts({}, {}, {})
 
-        size = len(active) * n_slots
-        cpu_demand = _scatter_add(cpu_chunks, cpu_starts, cpu_lens, cpu_alloc, size)
-        mem_demand = _scatter_add(mem_chunks, mem_starts, mem_lens, mem_alloc, size)
-        cpu_demand = cpu_demand.reshape(len(active), n_slots)
-        mem_demand = mem_demand.reshape(len(active), n_slots)
-        occ_size = len(active) * (n_slots + 1)
-        occ_delta = (np.bincount(occ_plus, minlength=occ_size)
-                     - np.bincount(occ_minus, minlength=occ_size))
-        occupancy = np.cumsum(
-            occ_delta.reshape(len(active), n_slots + 1), axis=1)[:, :n_slots] > 0
+        cpu_table.freeze()
+        mem_table.freeze()
+        n_rows = len(active)
+        occ_rows_arr = np.asarray(occ_rows, dtype=np.intp)
+        occ_lo_arr = np.asarray(occ_lo, dtype=np.intp)
+        occ_hi_arr = np.asarray(occ_hi, dtype=np.intp)
 
-        cpu_violations = np.count_nonzero(
-            occupancy & (cpu_demand > cpu_contention_fraction * capacity_cpu[:, None]),
-            axis=1)
-        mem_violations = np.count_nonzero(
-            occupancy & (mem_demand > (backing + MEMORY_EPSILON)[:, None]), axis=1)
-        occupied = occupancy.sum(axis=1)
+        cpu_threshold = cpu_contention_fraction * capacity_cpu
+        mem_threshold = backing + MEMORY_EPSILON
+        occupied_total = np.zeros(n_rows, dtype=np.int64)
+        cpu_total = np.zeros(n_rows, dtype=np.int64)
+        mem_total = np.zeros(n_rows, dtype=np.int64)
+
+        for chunk_lo, chunk_hi in _chunk_ranges(start, end, self.chunk_slots):
+            inside = np.nonzero((occ_lo_arr < chunk_hi)
+                                & (occ_hi_arr > chunk_lo))[0]
+            if inside.size == 0:
+                # No VM occupies any slot of this chunk: demand may not be
+                # inspected (the reference only counts occupied slots).
+                continue
+            width = chunk_hi - chunk_lo
+            # Occupancy difference indices: +1 at interval start, -1 one
+            # past the end; the running sum > 0 marks occupied slots.  Rows
+            # are padded by one column to absorb intervals ending at the
+            # chunk boundary.
+            plus = (occ_rows_arr[inside] * (width + 1)
+                    + np.maximum(occ_lo_arr[inside], chunk_lo) - chunk_lo)
+            minus = (occ_rows_arr[inside] * (width + 1)
+                     + np.minimum(occ_hi_arr[inside], chunk_hi) - chunk_lo)
+            occ_size = n_rows * (width + 1)
+            occ_delta = (np.bincount(plus, minlength=occ_size)
+                         - np.bincount(minus, minlength=occ_size))
+            occupancy = np.cumsum(
+                occ_delta.reshape(n_rows, width + 1), axis=1)[:, :width] > 0
+
+            cpu_demand = cpu_table.demand(chunk_lo, chunk_hi, n_rows)
+            mem_demand = mem_table.demand(chunk_lo, chunk_hi, n_rows)
+            cpu_total += np.count_nonzero(
+                occupancy & (cpu_demand > cpu_threshold[:, None]), axis=1)
+            mem_total += np.count_nonzero(
+                occupancy & (mem_demand > mem_threshold[:, None]), axis=1)
+            occupied_total += occupancy.sum(axis=1)
 
         observed: Dict[str, int] = {}
         cpu_counts: Dict[str, int] = {}
         mem_counts: Dict[str, int] = {}
         for row, server in enumerate(active):
-            if occupied[row] == 0:
+            if occupied_total[row] == 0:
                 continue
-            observed[server.server_id] = int(occupied[row])
-            cpu_counts[server.server_id] = int(cpu_violations[row])
-            mem_counts[server.server_id] = int(mem_violations[row])
+            observed[server.server_id] = int(occupied_total[row])
+            cpu_counts[server.server_id] = int(cpu_total[row])
+            mem_counts[server.server_id] = int(mem_total[row])
         return ViolationStats.from_counts(observed, cpu_counts, mem_counts)
 
 
@@ -276,11 +398,23 @@ VIOLATION_METERS = {
 }
 
 
-def get_violation_meter(name: str):
-    """Instantiate a violation meter by registry name."""
+def get_violation_meter(name: str, chunk_slots: Optional[int] = None):
+    """Instantiate a violation meter by registry name.
+
+    *chunk_slots* selects the chunked streaming mode and is only supported
+    by the vectorized meter (the reference loop is deliberately kept
+    verbatim as the seed implementation).
+    """
     try:
-        return VIOLATION_METERS[name]()
+        meter_cls = VIOLATION_METERS[name]
     except KeyError as exc:
         raise KeyError(
             f"unknown violation meter {name!r}; expected one of "
             f"{sorted(VIOLATION_METERS)}") from exc
+    if chunk_slots is not None:
+        if meter_cls is not VectorizedViolationMeter:
+            raise ValueError(
+                f"violation meter {name!r} does not support chunked replay; "
+                f"use 'vectorized' with chunk_slots or unset replay_chunk_slots")
+        return meter_cls(chunk_slots=chunk_slots)
+    return meter_cls()

@@ -1,0 +1,203 @@
+"""Process-parallel policy sweep orchestration.
+
+``evaluate_policies`` walks a whole policy suite over one trace.  The phases
+that dominate a sweep -- random-forest training and the replay arithmetic --
+hold the GIL, so the thread pool that fans *clusters* out inside one policy
+run (``SimulationConfig.parallelism``) cannot speed the sweep itself up.
+This module fans the sweep out at the policy level instead: one
+:class:`SweepTask` per policy, dispatched to a ``ProcessPoolExecutor``
+(``SimulationConfig.sweep_parallelism`` workers).
+
+Determinism contract
+--------------------
+Every worker runs the exact same ``simulate_policy`` code path on the exact
+same pickled inputs (the trace, the :class:`PolicyConfig`, and the
+:class:`SimulationConfig`), and all model training is seeded
+(``random_state=0`` forests), so a policy's :class:`PolicyEvaluation` is
+bitwise identical whether it was computed in-process or in a worker.
+Results are merged in *policy-declaration order* regardless of completion
+order, so the returned mapping -- including the relative
+``compare_policies`` columns -- is bitwise identical for any worker count.
+``tests/test_golden_trace.py`` pins this against the golden trace.
+
+Failure contract
+----------------
+A policy that raises inside a worker must not hang the sweep or surface a
+bare pickling error.  Workers catch everything and ship a
+:class:`_SweepFailure` back to the parent, which cancels the outstanding
+tasks and raises :class:`PolicySweepError` carrying the policy name, the
+original exception type/message, and the worker's formatted traceback.  The
+serial path wraps failures in the same exception type so callers handle one
+shape.  When several policies fail, the one earliest in declaration order
+wins (deterministic error reporting).
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Dict, Optional
+
+from repro.core.policy import STANDARD_POLICIES, PolicyConfig
+from repro.simulator.engine import SimulationConfig, simulate_policy
+from repro.simulator.metrics import PolicyEvaluation, compare_policies
+from repro.simulator.replay import get_violation_meter
+from repro.trace.trace import Trace
+
+#: Start method for sweep workers.  ``spawn`` is used on every platform: it
+#: is the only method that exists everywhere, and it never inherits thread
+#: or RNG state from the parent, which keeps the determinism contract free
+#: of fork-time surprises (at the price of re-importing numpy per worker).
+_MP_START_METHOD = "spawn"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: evaluate a single policy on a trace.
+
+    The task is fully self-contained and picklable -- the trace reference,
+    the policy, and the simulation knobs travel together -- so it can be
+    shipped to a spawned worker process that shares no state with the
+    parent.
+    """
+
+    policy_name: str
+    policy: PolicyConfig
+    trace: Trace
+    config: SimulationConfig
+
+
+@dataclass(frozen=True)
+class _SweepFailure:
+    """Picklable capture of an exception raised inside a sweep worker."""
+
+    original_type: str
+    original_message: str
+    worker_traceback: str
+
+
+@dataclass(frozen=True)
+class _SweepOutcome:
+    """What a worker ships back: an evaluation or a captured failure."""
+
+    policy_name: str
+    evaluation: Optional[PolicyEvaluation] = None
+    failure: Optional[_SweepFailure] = None
+
+
+class PolicySweepError(RuntimeError):
+    """A policy evaluation failed during a sweep.
+
+    Carries the failing policy's name plus the original exception type,
+    message, and (for process-pool failures) the worker-side traceback, so
+    the root cause is debuggable without re-running the sweep serially.
+    """
+
+    def __init__(self, policy_name: str, original_type: str,
+                 original_message: str, worker_traceback: str = ""):
+        self.policy_name = policy_name
+        self.original_type = original_type
+        self.original_message = original_message
+        self.worker_traceback = worker_traceback
+        detail = f"policy {policy_name!r} failed: {original_type}: {original_message}"
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+
+
+def run_sweep_task(task: SweepTask) -> _SweepOutcome:
+    """Evaluate one policy; never raises (failures are shipped as data).
+
+    Module-level so it is importable by ``spawn`` workers.  Exceptions are
+    captured into the outcome instead of propagating: a raised exception
+    would be pickled by ``concurrent.futures`` machinery, and exception
+    classes with non-trivial constructors round-trip poorly, turning the
+    real failure into an opaque ``BrokenProcessPool``.
+    """
+    try:
+        evaluation = simulate_policy(task.trace, task.policy, task.config)
+        return _SweepOutcome(task.policy_name, evaluation=evaluation)
+    except Exception as exc:  # noqa: BLE001 -- the parent re-raises with context
+        failure = _SweepFailure(type(exc).__name__, str(exc),
+                                traceback.format_exc())
+        return _SweepOutcome(task.policy_name, failure=failure)
+
+
+def _evaluate_serial(trace: Trace, name: str, policy: PolicyConfig,
+                     config: SimulationConfig) -> PolicyEvaluation:
+    """In-process evaluation with the same failure shape as the pool path."""
+    try:
+        return simulate_policy(trace, policy, config)
+    except Exception as exc:
+        raise PolicySweepError(name, type(exc).__name__, str(exc)) from exc
+
+
+def sweep_policies(trace: Trace,
+                   policies: Optional[Dict[str, PolicyConfig]] = None,
+                   config: Optional[SimulationConfig] = None) -> Dict[str, PolicyEvaluation]:
+    """Evaluate several policies on the same trace (Figure 20).
+
+    Dispatches one :class:`SweepTask` per policy across
+    ``config.sweep_parallelism`` worker processes (1 = serial, the
+    default).  Results are merged in policy-declaration order, so the
+    returned mapping is bitwise identical to the serial sweep for any
+    worker count.  Additional capacity is computed relative to the
+    ``none`` policy when present.
+    """
+    policies = dict(policies or STANDARD_POLICIES)
+    config = config or SimulationConfig()
+    # Fail fast on a mistyped meter name / bad chunk size, before any worker
+    # is spawned (workers would each fail with the same error otherwise).
+    get_violation_meter(config.violation_meter,
+                        chunk_slots=config.replay_chunk_slots)
+
+    n_workers = min(max(1, config.sweep_parallelism), max(1, len(policies)))
+    if n_workers <= 1 or len(policies) <= 1:
+        results = {name: _evaluate_serial(trace, name, policy, config)
+                   for name, policy in policies.items()}
+    else:
+        results = _sweep_with_pool(trace, policies, config, n_workers)
+
+    if "none" in results:
+        compare_policies(results, baseline="none")
+    return results
+
+
+def _sweep_with_pool(trace: Trace, policies: Dict[str, PolicyConfig],
+                     config: SimulationConfig,
+                     n_workers: int) -> Dict[str, PolicyEvaluation]:
+    tasks = [SweepTask(name, policy, trace, config)
+             for name, policy in policies.items()]
+    results: Dict[str, PolicyEvaluation] = {}
+    with ProcessPoolExecutor(max_workers=n_workers,
+                             mp_context=get_context(_MP_START_METHOD)) as pool:
+        futures = [(task.policy_name, pool.submit(run_sweep_task, task))
+                   for task in tasks]
+        # Collect in declaration order: deterministic merge AND deterministic
+        # error attribution when several policies fail at once.
+        for name, future in futures:
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as exc:
+                # A worker died outright (OOM-kill, segfault) -- nothing
+                # could ship a _SweepFailure back, so attribute the break to
+                # the policy whose result was pending when it surfaced.
+                for _name, pending in futures:
+                    pending.cancel()
+                raise PolicySweepError(
+                    name, type(exc).__name__,
+                    "a sweep worker process died abruptly (e.g. OOM-killed "
+                    f"or segfaulted) while this policy was pending: {exc}",
+                ) from exc
+            if outcome.failure is not None:
+                for _name, pending in futures:
+                    pending.cancel()
+                failure = outcome.failure
+                raise PolicySweepError(name, failure.original_type,
+                                       failure.original_message,
+                                       failure.worker_traceback)
+            results[name] = outcome.evaluation
+    return results

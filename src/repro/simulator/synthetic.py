@@ -19,12 +19,33 @@ from repro.core.resources import ALL_RESOURCES, Resource
 from repro.core.scheduler import ClusterScheduler, ServerAccount
 from repro.core.windows import plan_vm
 from repro.prediction.utilization_model import WindowUtilizationPrediction
+from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
 from repro.trace.hardware import ClusterConfig
-from repro.trace.timeseries import TimeWindowConfig, UtilizationSeries
+from repro.trace.timeseries import SLOTS_PER_DAY, TimeWindowConfig, UtilizationSeries
+from repro.trace.trace import Trace
 from repro.trace.vm import VM_CATALOG, VMRecord
 
 #: Small shapes, so even a modest cluster genuinely hosts most arrivals.
 DEFAULT_CONFIG_NAMES: Tuple[str, ...] = ("D1_v5", "D2_v5", "D4_v5", "F2_v2", "E2_v5")
+
+#: Window configuration shared by every benchmark workload below.
+BENCH_WINDOWS = TimeWindowConfig(4)
+
+#: 200-server cluster timed by the placement/replay scale benchmarks AND
+#: ``scripts/run_benchmarks.py`` -- one definition, so the tracked plans/s
+#: and server-slots/s trajectories cannot silently diverge between the two.
+SCALE_BENCH_CLUSTER = ClusterConfig(
+    "SCALE", "bench",
+    (("gen4-intel", 60), ("gen5-intel", 50), ("gen6-amd", 50), ("gen7-amd", 40)))
+
+#: 100-server cluster for the multi-week streaming-replay demonstrations.
+MULTIWEEK_BENCH_CLUSTER = ClusterConfig(
+    "SWEEP", "bench",
+    (("gen4-intel", 40), ("gen5-intel", 30), ("gen6-amd", 30)))
+
+#: Chunk width (one day of 5-minute slots) used by the bounded-memory
+#: replay demonstrations.
+BENCH_CHUNK_SLOTS = 288
 
 
 def build_placed_replay_state(
@@ -93,3 +114,133 @@ def build_placed_replay_state(
             scheduler.deallocate(victim)
             placed.pop(victim)
     return list(scheduler.servers.values()), placed
+
+
+def build_placement_plans(
+    n_plans: int,
+    windows: TimeWindowConfig,
+    *,
+    seed: int = 7,
+    core_choices: Sequence[float] = (1, 2, 2, 4, 4, 8),
+) -> List[object]:
+    """Randomized VM resource plans for placement-throughput measurements.
+
+    The scheduler-scale benchmark and ``scripts/run_benchmarks.py`` must
+    time the *same* workload shape or the tracked plans/s trajectory would
+    silently drift, so the builder lives here rather than in either
+    harness.
+    """
+    rng = np.random.default_rng(seed)
+    w = windows.windows_per_day
+    plans = []
+    for i in range(n_plans):
+        maximum = {r: rng.uniform(0.1, 0.9, w) for r in ALL_RESOURCES}
+        percentile = {r: np.minimum(maximum[r], rng.uniform(0.05, 0.7, w))
+                      for r in ALL_RESOURCES}
+        prediction = WindowUtilizationPrediction(
+            windows=windows, percentile=percentile, maximum=maximum)
+        cores = float(rng.choice(core_choices))
+        allocation = {Resource.CPU: cores, Resource.MEMORY: cores * 4.0,
+                      Resource.NETWORK: min(0.5 * cores, 16.0),
+                      Resource.SSD: 32.0 * cores}
+        plans.append(plan_vm(f"vm-{i}", allocation, prediction, oversubscribe=True))
+    return plans
+
+
+def build_placement_bench_plans(*, smoke: bool = False, seed: int = 7) -> List[object]:
+    """The placement-throughput workload (the plan count shrinks under the
+    CI smoke knob, consistently for the pytest benchmark and the tracking
+    script)."""
+    return build_placement_plans(1500 if smoke else 5000, BENCH_WINDOWS, seed=seed)
+
+
+def build_replay_scale_state(
+    *,
+    smoke: bool = False,
+    seed: int = 7,
+) -> Tuple[List[ServerAccount], Dict[str, VMRecord], int]:
+    """The replay-throughput workload: one day of telemetry, short-lived VMs.
+
+    Short lifetimes keep the per-VM bookkeeping (where the seed loop pays)
+    dominant over raw sample volume; 20% of the VMs get truncated series so
+    the clamping path is exercised.  Returns ``(servers, placed, n_slots)``.
+    """
+    n_slots = SLOTS_PER_DAY
+    servers, placed = build_placed_replay_state(
+        SCALE_BENCH_CLUSTER, BENCH_WINDOWS, 1500 if smoke else 5000, n_slots,
+        seed=seed, lifetime_range=(8, 20), full_coverage_probability=0.8)
+    return servers, placed, n_slots
+
+
+def build_chunked_bench_state(
+    *,
+    smoke: bool = False,
+    seed: int = 11,
+) -> Tuple[List[ServerAccount], Dict[str, VMRecord], int]:
+    """The bounded-memory demonstration workload: a multi-week replay state
+    whose dense demand matrix is >= 10x the :data:`BENCH_CHUNK_SLOTS`
+    budget (14x at the smoke size, 28x at full size)."""
+    return build_multiweek_replay_state(
+        MULTIWEEK_BENCH_CLUSTER, BENCH_WINDOWS,
+        n_vms=1200 if smoke else 3000,
+        n_days=14 if smoke else 28, seed=seed)
+
+
+def generate_sweep_bench_trace(*, smoke: bool = False) -> Trace:
+    """The multi-week trace swept by the sweep wall-clock measurements."""
+    return generate_multiweek_trace(n_days=14 if smoke else 21,
+                                    n_vms=300 if smoke else 500)
+
+
+def build_multiweek_replay_state(
+    cluster: ClusterConfig,
+    windows: TimeWindowConfig,
+    n_vms: int,
+    n_days: int,
+    *,
+    seed: int = 11,
+    min_lifetime_days: float = 0.5,
+    max_lifetime_days: float = 7.0,
+    **kwargs: object,
+) -> Tuple[List[ServerAccount], Dict[str, VMRecord], int]:
+    """Production-length replay state: ``n_days`` of 5-minute telemetry.
+
+    A multi-week evaluation window is where the dense ``(n_servers,
+    n_slots)`` demand matrix stops fitting in a sane budget, so this is the
+    workload the chunked streaming meter exists for.  Lifetimes span from
+    *min_lifetime_days* to *max_lifetime_days* (long-running VMs straddle
+    many slot chunks, guaranteeing chunk boundaries split demand segments).
+    Returns ``(servers, placed, n_slots)``.
+    """
+    if n_days < 8:
+        raise ValueError(f"a multi-week state needs n_days >= 8, got {n_days}")
+    n_slots = n_days * SLOTS_PER_DAY
+    lifetime_range = (max(1, int(min_lifetime_days * SLOTS_PER_DAY)),
+                      max(2, int(max_lifetime_days * SLOTS_PER_DAY)))
+    servers, placed = build_placed_replay_state(
+        cluster, windows, n_vms, n_slots, seed=seed,
+        lifetime_range=lifetime_range, **kwargs)
+    return servers, placed, n_slots
+
+
+def generate_multiweek_trace(
+    n_days: int = 28,
+    n_vms: int = 600,
+    seed: int = 2025,
+    n_subscriptions: int = 40,
+    servers_per_cluster: int = 1,
+) -> Trace:
+    """A multi-week synthetic trace for sweep benchmarks and scale tests.
+
+    Thin, intention-revealing front-end to :class:`TraceGenerator`: the
+    sweep benchmark and the streaming-replay demonstrations need the *same*
+    long trace so their numbers are comparable PR over PR, which is why the
+    parameter set lives here instead of inline in each benchmark.
+    """
+    if n_days < 14:
+        raise ValueError(f"a multi-week trace needs n_days >= 14, got {n_days}")
+    config = TraceGeneratorConfig(
+        n_vms=n_vms, n_days=n_days, seed=seed,
+        n_subscriptions=n_subscriptions,
+        servers_per_cluster=servers_per_cluster)
+    return TraceGenerator(config).generate()

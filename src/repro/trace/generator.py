@@ -25,10 +25,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.resources import Resource
 from repro.trace.hardware import Fleet, default_clusters
 from repro.trace.patterns import (
-    ARCHETYPES,
     SubscriptionProfile,
     generate_resource_patterns,
     generate_series,

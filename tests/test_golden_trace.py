@@ -13,6 +13,8 @@ the snippet in the module docstring of the fixture below and update the
 table in the same commit that changes the behaviour.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.simulator import SimulationConfig, evaluate_policies
@@ -35,22 +37,26 @@ GOLDEN = {
 
 
 @pytest.fixture(scope="module")
-def golden_results():
-    """Regenerate with:
-
-    >>> config = TraceGeneratorConfig(n_vms=500, n_days=10, seed=1234,
-    ...                               n_subscriptions=30, servers_per_cluster=1)
-    >>> trace = TraceGenerator(config).generate()
-    >>> sim = SimulationConfig(clusters=["C1", "C2", "C3"], n_estimators=3,
-    ...                        parallelism=2)
-    >>> evaluate_policies(trace, config=sim)
-    """
+def golden_trace():
+    """The fixed-seed trace behind every golden assertion in this module."""
     config = TraceGeneratorConfig(n_vms=500, n_days=10, seed=1234,
                                   n_subscriptions=30, servers_per_cluster=1)
-    trace = TraceGenerator(config).generate()
-    sim = SimulationConfig(clusters=["C1", "C2", "C3"], n_estimators=3,
-                           parallelism=2)
-    return evaluate_policies(trace, config=sim)
+    return TraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def golden_sim_config():
+    return SimulationConfig(clusters=["C1", "C2", "C3"], n_estimators=3,
+                            parallelism=2)
+
+
+@pytest.fixture(scope="module")
+def golden_results(golden_trace, golden_sim_config):
+    """Regenerate the GOLDEN table by printing the result of
+    ``evaluate_policies(golden_trace, config=golden_sim_config)`` with the
+    fixture configs above, and update the table in the same commit that
+    changes the behaviour."""
+    return evaluate_policies(golden_trace, config=golden_sim_config)
 
 
 def test_all_standard_policies_present(golden_results):
@@ -80,3 +86,17 @@ def test_oversubscription_ordering_holds_on_golden_trace(golden_results):
     base = golden_results["none"].average_concurrent_cores
     for name in ("single", "coach", "aggr-coach"):
         assert golden_results[name].average_concurrent_cores >= base
+
+
+@pytest.mark.parametrize("sweep_workers", [2, 3])
+def test_process_pool_sweep_matches_golden(golden_trace, golden_sim_config,
+                                           golden_results, sweep_workers):
+    """The process-pool sweep is bitwise identical to the serial walk on the
+    golden trace, for multiple worker counts: same policies in the same
+    order, every PolicyEvaluation equal field for field (including the
+    per-server violation breakdowns and the relative capacity columns)."""
+    sim = replace(golden_sim_config, sweep_parallelism=sweep_workers)
+    pooled = evaluate_policies(golden_trace, config=sim)
+    assert list(pooled) == list(golden_results)
+    for name, evaluation in golden_results.items():
+        assert pooled[name] == evaluation, f"policy {name} diverged"

@@ -10,7 +10,6 @@ from repro.core.mitigation import (
 )
 from repro.core.monitoring import (
     MonitoringComponent,
-    MonitoringThresholds,
     ServerSample,
 )
 from repro.core.resources import Resource
