@@ -9,7 +9,10 @@ performance numbers tracked PR over PR:
 * policy-sweep wall-clock, serial vs. process pool, with a bitwise
   equality check between the two,
 * peak replay memory (tracemalloc bytes) for dense vs. chunked streaming
-  replay, plus the process high-water RSS.
+  replay, plus the process high-water RSS,
+* trace-store numbers: per-worker sweep-task bytes (pickled trace vs.
+  shared-memory handle) and mmap-backed streaming replay peak vs. the
+  full in-RAM load.
 
 The workloads are the same builders the ``benchmarks/`` suite uses
 (:mod:`repro.simulator.synthetic`), so numbers are comparable with the
@@ -31,6 +34,7 @@ import platform
 import resource
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -50,8 +54,10 @@ from repro.simulator.replay import VectorizedViolationMeter
 # diverge.
 from repro.simulator.benchmarking import (
     bench_smoke_enabled,
+    measure_mmap_bounded_replay,
     measure_replay_memory,
     measure_sweep_serial_vs_pool,
+    measure_sweep_task_footprint,
 )
 from repro.simulator.synthetic import (
     BENCH_CHUNK_SLOTS,
@@ -60,6 +66,7 @@ from repro.simulator.synthetic import (
     build_chunked_bench_state,
     build_placement_bench_plans,
     build_replay_scale_state,
+    generate_store_bench_trace,
     generate_sweep_bench_trace,
 )
 
@@ -121,6 +128,15 @@ def measure_chunked_replay(smoke: bool) -> dict:
     return outcome
 
 
+def measure_trace_store(smoke: bool) -> dict:
+    """Trace-store numbers: sweep-task bytes and mmap-bounded replay peaks."""
+    trace = generate_store_bench_trace(smoke=smoke)
+    outcome = measure_sweep_task_footprint(trace)
+    with tempfile.TemporaryDirectory() as workdir:
+        outcome["mmap_replay"] = measure_mmap_bounded_replay(trace, workdir)
+    return outcome
+
+
 def git_revision() -> str:
     command = ["git", "rev-parse", "--short", "HEAD"]
     try:
@@ -154,6 +170,17 @@ def print_summary(record: dict) -> None:
     print(f"  ({sweep['workers']} workers, {sweep['speedup']:.2f}x)")
     print(f"  chunked    peak {chunked_mb:.1f} MB vs dense {dense_mb:.1f} MB", end="")
     print(f"  ({chunked['peak_reduction']:.1f}x reduction)")
+    store = record["trace_store"]
+    mmap_replay = store["mmap_replay"]
+    pickled_mb = store["pickled_task_bytes"] / 1e6
+    shared_kb = store["shared_task_bytes"] / 1e3
+    print(f"  sweep task {pickled_mb:10.1f} MB pickled vs {shared_kb:.1f} KB shared", end="")
+    print(f"  ({store['footprint_reduction']:.0f}x smaller per worker)")
+    mmap_mb = mmap_replay["mmap_peak_bytes"] / 1e6
+    budget_mb = mmap_replay["budget_bytes"] / 1e6
+    buffer_mb = mmap_replay["buffer_nbytes"] / 1e6
+    print(f"  mmap       peak {mmap_mb:.1f} MB (budget {budget_mb:.1f} MB", end="")
+    print(f", buffer {buffer_mb:.1f} MB, {mmap_replay['peak_reduction']:.1f}x vs in-RAM)")
 
 
 def main(argv: list | None = None) -> int:
@@ -183,6 +210,7 @@ def main(argv: list | None = None) -> int:
         "replay": measure_replay(smoke),
         "sweep": measure_sweep(smoke),
         "chunked_replay": measure_chunked_replay(smoke),
+        "trace_store": measure_trace_store(smoke),
     }
     print_summary(record)
 

@@ -35,7 +35,7 @@ from repro.prediction.utilization_model import (
     OracleUtilizationModel,
 )
 from repro.simulator.engine import SimulationConfig, evaluate_policies
-from repro.simulator.metrics import PredictionAccuracy
+from repro.simulator.metrics import PredictionAccuracy, ViolationStats
 from repro.trace.timeseries import SLOTS_PER_DAY, SWEEP_WINDOW_HOURS, TimeWindowConfig
 from repro.trace.trace import Trace
 from repro.workloads.base import summarize_results
@@ -266,6 +266,80 @@ def figure20_packing(trace: Trace,
             "server_reduction_pct": float(evaluation.server_reduction_pct or 0.0),
         }
         for name, evaluation in results.items()
+    }
+
+
+def _cluster_of_server(server_id: str) -> str:
+    """Cluster id of a scheduler server id (``"C4-s017"`` -> ``"C4"``)."""
+    cluster, sep, _index = server_id.rpartition("-s")
+    return cluster if sep else server_id
+
+
+def hotspot_report(violations: ViolationStats, top_n: int = 10) -> Dict[str, object]:
+    """Per-server contention hotspots and per-cluster violation-rate CDFs.
+
+    Surfaces the per-server breakdowns :class:`ViolationStats` records (the
+    ROADMAP follow-up to the PR-2 replay work): which servers concentrate
+    the contention -- the candidates for the paper's mitigation/migration
+    actions -- and how violation rates distribute inside each cluster.
+
+    Returns::
+
+        {"n_servers": int,                     # servers with occupied slots
+         "hotspots": [{"server_id", "cluster_id", "observed_slots",
+                       "cpu_violation_slots", "memory_violation_slots",
+                       "violation_rate"}, ...],       # worst top_n first
+         "per_cluster": {cluster_id: {
+             "n_servers": int,
+             "observed_slots": int,
+             "cpu_violation_slots": int,
+             "memory_violation_slots": int,
+             "violation_rate": [...],   # sorted per-server rates (CDF x)
+             "cdf": [...],              # cumulative server fraction (CDF y)
+         }}}
+
+    The violation rate of a server is its CPU *plus* memory violation slots
+    over its observed slots -- a combined contention-pressure score, not a
+    fraction of slots: a slot violating both resources counts twice, so the
+    rate can exceed 1 (``ViolationStats`` records the two counts separately
+    and the union is not recoverable from them).  Server ids are the
+    scheduler's ``<cluster>-s<index>`` names, so the grouping needs no
+    extra lookup.
+    """
+    servers = []
+    for server_id, observed in violations.per_server_observed.items():
+        cpu = violations.per_server_cpu_violations.get(server_id, 0)
+        memory = violations.per_server_memory_violations.get(server_id, 0)
+        servers.append({
+            "server_id": server_id,
+            "cluster_id": _cluster_of_server(server_id),
+            "observed_slots": int(observed),
+            "cpu_violation_slots": int(cpu),
+            "memory_violation_slots": int(memory),
+            "violation_rate": (cpu + memory) / observed if observed else 0.0,
+        })
+    # Worst first; ties broken by id so the report is deterministic.
+    servers.sort(key=lambda row: (-row["violation_rate"], row["server_id"]))
+
+    per_cluster: Dict[str, Dict[str, object]] = {}
+    for row in servers:
+        bucket = per_cluster.setdefault(row["cluster_id"], {
+            "n_servers": 0, "observed_slots": 0, "cpu_violation_slots": 0,
+            "memory_violation_slots": 0, "violation_rate": []})
+        bucket["n_servers"] += 1
+        bucket["observed_slots"] += row["observed_slots"]
+        bucket["cpu_violation_slots"] += row["cpu_violation_slots"]
+        bucket["memory_violation_slots"] += row["memory_violation_slots"]
+        bucket["violation_rate"].append(row["violation_rate"])
+    for bucket in per_cluster.values():
+        bucket["violation_rate"] = sorted(bucket["violation_rate"])
+        n = bucket["n_servers"]
+        bucket["cdf"] = [(i + 1) / n for i in range(n)]
+
+    return {
+        "n_servers": len(servers),
+        "hotspots": servers[:top_n],
+        "per_cluster": dict(sorted(per_cluster.items())),
     }
 
 

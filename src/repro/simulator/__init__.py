@@ -23,6 +23,7 @@ from repro.simulator.replay import (
     VIOLATION_METERS,
     ReferenceViolationMeter,
     VectorizedViolationMeter,
+    chunk_slots_for_budget,
     get_violation_meter,
 )
 from repro.simulator.sweep import (
@@ -47,6 +48,7 @@ __all__ = [
     "VIOLATION_METERS",
     "VectorizedViolationMeter",
     "ViolationStats",
+    "chunk_slots_for_budget",
     "compare_policies",
     "evaluate_policies",
     "get_violation_meter",

@@ -12,15 +12,19 @@ for the same one.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import tracemalloc
 from dataclasses import replace
+from pathlib import Path
 from typing import Dict, Iterable, Optional
 
+from repro.core.policy import COACH_POLICY
 from repro.core.scheduler import ServerAccount
-from repro.simulator.engine import SimulationConfig
-from repro.simulator.replay import VectorizedViolationMeter
-from repro.simulator.sweep import sweep_policies
+from repro.simulator.engine import SimulationConfig, simulate_policy
+from repro.simulator.replay import VectorizedViolationMeter, chunk_slots_for_budget
+from repro.simulator.sweep import SweepTask, sweep_policies
+from repro.trace.store import TraceStore
 from repro.trace.trace import Trace
 from repro.trace.vm import VMRecord
 
@@ -128,4 +132,118 @@ def measure_replay_memory(servers: Iterable[ServerAccount],
         "chunked_peak_bytes": chunked_peak,
         "chunked_seconds": chunked_seconds,
         "peak_reduction": dense_peak / max(1, chunked_peak),
+    }
+
+
+def measure_sweep_task_footprint(trace: Trace,
+                                 config: Optional[SimulationConfig] = None
+                                 ) -> Dict[str, object]:
+    """Per-worker bytes shipped by a sweep task: pickled trace vs shared handle.
+
+    A pickle-transport :class:`SweepTask` carries the whole trace, so every
+    worker unpickles (and then owns) a private copy of the telemetry; the
+    shared-memory transport ships a handle of a few kilobytes and workers
+    attach the parent's buffers zero-copy.  The pickled task size is the
+    exact number of bytes each worker must receive *and materialize*, which
+    makes it the deterministic proxy for per-worker sweep memory tracked in
+    ``BENCH_<date>.json``.  Also times unpickling the trace task against
+    attaching the handle (the per-worker startup cost the transports trade).
+    """
+    config = config or SimulationConfig()
+    # The pickled baseline must model the seed transport -- the same
+    # store-stripped payload the sweep's pickle fallback ships -- or a
+    # store-backed input would flatter the shared-memory reduction.
+    pickled_task = pickle.dumps(
+        SweepTask("coach", COACH_POLICY, trace.without_store(), config),
+        protocol=pickle.HIGHEST_PROTOCOL)
+
+    store = trace.store if trace.store is not None else TraceStore.from_trace(trace)
+    handle = store.export_shared()
+    try:
+        shared_task = pickle.dumps(
+            SweepTask("coach", COACH_POLICY, None, config, shared_trace=handle),
+            protocol=pickle.HIGHEST_PROTOCOL)
+
+        begin = time.perf_counter()
+        unpickled = pickle.loads(pickled_task)
+        unpickle_seconds = time.perf_counter() - begin
+        n_vms = len(unpickled.trace.vms)
+
+        begin = time.perf_counter()
+        attached = pickle.loads(shared_task).shared_trace.attach()
+        attach_trace = attached.as_trace()
+        attach_seconds = time.perf_counter() - begin
+        if [vm.vm_id for vm in attach_trace.vms] != \
+                [vm.vm_id for vm in unpickled.trace.vms]:
+            raise AssertionError("attached trace diverged from pickled trace")
+        attached.close_shared()
+    finally:
+        handle.unlink()
+    return {
+        "n_vms": n_vms,
+        "util_nbytes": store.util_nbytes,
+        "pickled_task_bytes": len(pickled_task),
+        "shared_task_bytes": len(shared_task),
+        "footprint_reduction": len(pickled_task) / max(1, len(shared_task)),
+        "unpickle_seconds": unpickle_seconds,
+        "attach_seconds": attach_seconds,
+    }
+
+
+def measure_mmap_bounded_replay(trace: Trace, workdir,
+                                *, n_estimators: int = 3,
+                                budget_divisor: int = 3) -> Dict[str, object]:
+    """End-to-end replay RAM: full in-RAM load vs mmap + chunked streaming.
+
+    Saves the trace as a columnar store (native telemetry dtype), then runs
+    the coach policy through ``simulate_policy`` twice from disk: once fully
+    loaded with the dense meter (the seed shape: everything in RAM), once
+    memory-mapped with the chunk width sized by
+    :func:`chunk_slots_for_budget` for a budget of
+    ``util_nbytes / budget_divisor`` -- i.e. the telemetry deliberately does
+    *not* fit the configured budget, and only the streaming path can respect
+    it.  Raises ``AssertionError`` if the two evaluations diverge (they read
+    the same buffer, so they must be bitwise identical) or if the streaming
+    peak exceeds the budget.
+    """
+    store = trace.store if trace.store is not None else TraceStore.from_trace(trace)
+    path = Path(workdir) / "trace-store"
+    store.save(path)
+    buffer_nbytes = store.util_nbytes
+    budget_bytes = max(1, buffer_nbytes // budget_divisor)
+    max_servers = max(c.server_count for c in trace.fleet.clusters)
+    chunk_slots = chunk_slots_for_budget(max_servers, budget_bytes)
+
+    def replay_from_disk(mmap: bool, config: SimulationConfig):
+        tracemalloc.start()
+        begin = time.perf_counter()
+        opened = TraceStore.open(path, mmap=mmap)
+        evaluation = simulate_policy(opened.as_trace(), COACH_POLICY, config)
+        seconds = time.perf_counter() - begin
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return evaluation, peak, seconds
+
+    dense_eval, dense_peak, dense_seconds = replay_from_disk(
+        False, SimulationConfig(n_estimators=n_estimators))
+    mmap_eval, mmap_peak, mmap_seconds = replay_from_disk(
+        True, SimulationConfig(n_estimators=n_estimators,
+                               replay_chunk_slots=chunk_slots))
+    if mmap_eval != dense_eval:
+        raise AssertionError("mmap-backed replay diverged from in-RAM replay")
+    if mmap_peak >= budget_bytes:
+        raise AssertionError(
+            f"streaming replay peak {mmap_peak} bytes exceeds the in-RAM "
+            f"budget {budget_bytes} bytes")
+    return {
+        "buffer_nbytes": buffer_nbytes,
+        "budget_bytes": budget_bytes,
+        "chunk_slots": chunk_slots,
+        "n_servers_max": max_servers,
+        "dense_peak_bytes": dense_peak,
+        "dense_seconds": dense_seconds,
+        "mmap_peak_bytes": mmap_peak,
+        "mmap_seconds": mmap_seconds,
+        "peak_reduction": dense_peak / max(1, mmap_peak),
+        "bitwise_identical": True,
     }

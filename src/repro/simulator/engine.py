@@ -77,6 +77,14 @@ class SimulationConfig:
     #: forest-training phase threads cannot speed up; any value yields
     #: bitwise-identical results (see :mod:`repro.simulator.sweep`).
     sweep_parallelism: int = 1
+    #: How the trace reaches sweep worker processes: ``"auto"`` ships a
+    #: zero-copy shared-memory handle whenever the trace columnarizes (and
+    #: falls back to pickling otherwise), ``"shared"`` requires the
+    #: shared-memory path, ``"pickle"`` forces the seed behaviour of
+    #: unpickling a private trace copy per worker.  Workers read the same
+    #: float buffers either way, so results are bitwise identical across
+    #: transports (see :mod:`repro.simulator.sweep`).
+    sweep_trace_transport: str = "auto"
 
 
 @dataclass
@@ -107,9 +115,17 @@ class ClusterSimulation:
         self.requested = 0
 
     def run(self) -> ClusterRunResult:
-        eval_vms = [vm for vm in self.trace.vms
-                    if vm.cluster_id == self.cluster_id
-                    and vm.start_slot >= self.config.placement_start_slot]
+        store = self.trace.store
+        if store is not None:
+            # Columnar fast path: one whole-column comparison instead of a
+            # Python attribute walk over every VM in the trace.
+            vms = self.trace.vms
+            eval_vms = [vms[i] for i in store.arrivals_for(
+                self.cluster_id, self.config.placement_start_slot)]
+        else:
+            eval_vms = [vm for vm in self.trace.vms
+                        if vm.cluster_id == self.cluster_id
+                        and vm.start_slot >= self.config.placement_start_slot]
         eval_vms.sort(key=lambda vm: (vm.start_slot, vm.vm_id))
 
         # Event-driven replay: before each arrival, release VMs that ended.

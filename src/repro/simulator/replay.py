@@ -27,6 +27,16 @@ are accumulated in the same segment order inside every chunk, so the
 chunked mode is bitwise identical to the dense one (and therefore to the
 reference), not merely close.
 
+The meters never copy telemetry during the gather pass: each segment is a
+*view* of the VM's ``UtilizationSeries`` buffer.  When the placed VMs are
+row views over a columnar :class:`~repro.trace.store.TraceStore`, those
+segments are slices of the store's flat per-resource buffer -- and when the
+store was opened with ``mmap=True``, slices of the on-disk file.  Combined
+with the chunked mode, that means a chunk only faults in the pages of the
+slot range it is accumulating: a trace whose utilization buffer exceeds the
+in-RAM budget replays end to end (size the tile with
+:func:`chunk_slots_for_budget`).
+
 The vectorized meter is arranged to be *bitwise* identical to the reference,
 not merely close: segments are emitted in the same (server, VM) iteration
 order the reference uses, and ``np.bincount`` accumulates its weights
@@ -389,6 +399,31 @@ class VectorizedViolationMeter:
             cpu_counts[server.server_id] = int(cpu_total[row])
             mem_counts[server.server_id] = int(mem_total[row])
         return ViolationStats.from_counts(observed, cpu_counts, mem_counts)
+
+
+#: Approximate transient bytes the chunked meter allocates per server-slot
+#: of one tile: two float64 demand matrices, the int64 occupancy difference
+#: array and its cumsum, plus the boolean masks of the threshold
+#: comparisons.  Deliberately rounded *up* so a budget computed from it
+#: holds with headroom.
+CHUNK_BYTES_PER_SERVER_SLOT = 64
+
+
+def chunk_slots_for_budget(n_servers: int, budget_bytes: int) -> int:
+    """Widest chunk whose transient replay allocations fit *budget_bytes*.
+
+    The chunked meter's peak scales with ``n_servers * chunk_slots`` (see
+    :data:`CHUNK_BYTES_PER_SERVER_SLOT`); this inverts that relation so a
+    caller with a RAM budget -- e.g. streaming an mmap-backed trace store
+    much larger than memory -- can pick ``SimulationConfig.replay_chunk_slots``
+    instead of guessing.  Always at least 1 (a one-slot tile is valid, just
+    slow).
+    """
+    if n_servers <= 0:
+        raise ValueError(f"n_servers must be positive, got {n_servers}")
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+    return max(1, int(budget_bytes // (n_servers * CHUNK_BYTES_PER_SERVER_SLOT)))
 
 
 #: Registry of the available replay engines (``SimulationConfig.violation_meter``).

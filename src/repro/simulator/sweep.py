@@ -20,6 +20,24 @@ order, so the returned mapping -- including the relative
 ``compare_policies`` columns -- is bitwise identical for any worker count.
 ``tests/test_golden_trace.py`` pins this against the golden trace.
 
+Trace transport
+---------------
+Shipping the trace itself is the sweep's memory bill: pickling one
+:class:`SweepTask` per policy makes every worker unpickle a private copy of
+the full telemetry (``sweep_parallelism * trace_size`` bytes at peak).  With
+``SimulationConfig.sweep_trace_transport="auto"`` (the default) the sweep
+columnarizes the trace (:class:`repro.trace.store.TraceStore`), exports the
+flat telemetry buffers to ``multiprocessing.shared_memory`` once, and ships
+workers a kilobyte-sized :class:`~repro.trace.store.SharedTraceHandle`
+instead -- workers attach zero-copy and read the exporting process's pages.
+Traces that cannot columnarize (non-uniform telemetry) fall back to
+pickling; ``"shared"`` makes that fallback an error and ``"pickle"`` forces
+the seed behaviour.  The parent owns the segments and unlinks them in a
+``finally`` around the pool, so neither a failing policy nor an abruptly
+dying worker can leak shared memory.  Workers read the exact same float
+buffers the parent holds, so every transport is bitwise identical (pinned
+in ``tests/test_golden_trace.py``).
+
 Failure contract
 ----------------
 A policy that raises inside a worker must not hang the sweep or surface a
@@ -45,7 +63,11 @@ from repro.core.policy import STANDARD_POLICIES, PolicyConfig
 from repro.simulator.engine import SimulationConfig, simulate_policy
 from repro.simulator.metrics import PolicyEvaluation, compare_policies
 from repro.simulator.replay import get_violation_meter
+from repro.trace.store import SharedTraceHandle, TraceStore
 from repro.trace.trace import Trace
+
+#: Valid values of ``SimulationConfig.sweep_trace_transport``.
+TRACE_TRANSPORTS = ("auto", "shared", "pickle")
 
 #: Start method for sweep workers.  ``spawn`` is used on every platform: it
 #: is the only method that exists everywhere, and it never inherits thread
@@ -58,16 +80,20 @@ _MP_START_METHOD = "spawn"
 class SweepTask:
     """One unit of sweep work: evaluate a single policy on a trace.
 
-    The task is fully self-contained and picklable -- the trace reference,
-    the policy, and the simulation knobs travel together -- so it can be
-    shipped to a spawned worker process that shares no state with the
-    parent.
+    The task is fully self-contained and picklable -- the trace (or the
+    shared-memory handle standing in for it), the policy, and the
+    simulation knobs travel together -- so it can be shipped to a spawned
+    worker process that shares no state with the parent.  Exactly one of
+    ``trace`` / ``shared_trace`` is set: with a handle, the worker attaches
+    the exported telemetry buffers zero-copy instead of unpickling a
+    private copy of the trace.
     """
 
     policy_name: str
     policy: PolicyConfig
-    trace: Trace
+    trace: Optional[Trace]
     config: SimulationConfig
+    shared_trace: Optional[SharedTraceHandle] = None
 
 
 @dataclass(frozen=True)
@@ -116,14 +142,28 @@ def run_sweep_task(task: SweepTask) -> _SweepOutcome:
     would be pickled by ``concurrent.futures`` machinery, and exception
     classes with non-trivial constructors round-trip poorly, turning the
     real failure into an opaque ``BrokenProcessPool``.
+
+    Shared-memory tasks attach the exported buffers for the duration of the
+    evaluation and release the mapping before returning; the evaluation
+    result carries only counts and floats, never buffer views, so nothing
+    outlives the mapping.
     """
+    attached = None
     try:
-        evaluation = simulate_policy(task.trace, task.policy, task.config)
+        if task.shared_trace is not None:
+            attached = task.shared_trace.attach()
+            trace = attached.as_trace()
+        else:
+            trace = task.trace
+        evaluation = simulate_policy(trace, task.policy, task.config)
         return _SweepOutcome(task.policy_name, evaluation=evaluation)
     except Exception as exc:  # noqa: BLE001 -- the parent re-raises with context
         failure = _SweepFailure(type(exc).__name__, str(exc),
                                 traceback.format_exc())
         return _SweepOutcome(task.policy_name, failure=failure)
+    finally:
+        if attached is not None:
+            attached.close_shared()
 
 
 def _evaluate_serial(trace: Trace, name: str, policy: PolicyConfig,
@@ -149,10 +189,16 @@ def sweep_policies(trace: Trace,
     """
     policies = dict(policies or STANDARD_POLICIES)
     config = config or SimulationConfig()
-    # Fail fast on a mistyped meter name / bad chunk size, before any worker
-    # is spawned (workers would each fail with the same error otherwise).
+    # Fail fast on a mistyped meter name / bad chunk size / bad transport,
+    # before any worker is spawned (workers would each fail with the same
+    # error otherwise).
     get_violation_meter(config.violation_meter,
                         chunk_slots=config.replay_chunk_slots)
+    if config.sweep_trace_transport not in TRACE_TRANSPORTS:
+        raise ValueError(
+            f"unknown sweep trace transport "
+            f"{config.sweep_trace_transport!r}; expected one of "
+            f"{sorted(TRACE_TRANSPORTS)}")
 
     n_workers = min(max(1, config.sweep_parallelism), max(1, len(policies)))
     if n_workers <= 1 or len(policies) <= 1:
@@ -166,38 +212,83 @@ def sweep_policies(trace: Trace,
     return results
 
 
+def _export_shared_trace(trace: Trace,
+                         config: SimulationConfig) -> Optional[SharedTraceHandle]:
+    """Export the trace for zero-copy worker attach, per the transport knob.
+
+    Returns ``None`` when the sweep should fall back to pickling: transport
+    ``"pickle"``, or ``"auto"`` with a trace that cannot columnarize
+    (non-uniform telemetry) or a platform without usable shared memory.
+    With transport ``"shared"`` those fallbacks raise instead.
+    """
+    transport = config.sweep_trace_transport
+    if transport == "pickle":
+        return None
+    store: Optional[TraceStore] = trace.store
+    if store is None:
+        try:
+            store = TraceStore.from_trace(trace)
+        except ValueError:
+            if transport == "shared":
+                raise
+            return None
+    try:
+        return store.export_shared()
+    except OSError:
+        if transport == "shared":
+            raise
+        return None
+
+
 def _sweep_with_pool(trace: Trace, policies: Dict[str, PolicyConfig],
                      config: SimulationConfig,
                      n_workers: int) -> Dict[str, PolicyEvaluation]:
-    tasks = [SweepTask(name, policy, trace, config)
+    handle = _export_shared_trace(trace, config)
+    if handle is None:
+        # The pickle transport must carry exactly the seed payload -- one
+        # object trace per worker, not the store's buffers on top of it.
+        trace = trace.without_store()
+    tasks = [SweepTask(name, policy, None if handle is not None else trace,
+                       config, shared_trace=handle)
              for name, policy in policies.items()]
     results: Dict[str, PolicyEvaluation] = {}
-    with ProcessPoolExecutor(max_workers=n_workers,
-                             mp_context=get_context(_MP_START_METHOD)) as pool:
-        futures = [(task.policy_name, pool.submit(run_sweep_task, task))
-                   for task in tasks]
-        # Collect in declaration order: deterministic merge AND deterministic
-        # error attribution when several policies fail at once.
-        for name, future in futures:
-            try:
-                outcome = future.result()
-            except BrokenProcessPool as exc:
-                # A worker died outright (OOM-kill, segfault) -- nothing
-                # could ship a _SweepFailure back, so attribute the break to
-                # the policy whose result was pending when it surfaced.
-                for _name, pending in futures:
-                    pending.cancel()
-                raise PolicySweepError(
-                    name, type(exc).__name__,
-                    "a sweep worker process died abruptly (e.g. OOM-killed "
-                    f"or segfaulted) while this policy was pending: {exc}",
-                ) from exc
-            if outcome.failure is not None:
-                for _name, pending in futures:
-                    pending.cancel()
-                failure = outcome.failure
-                raise PolicySweepError(name, failure.original_type,
-                                       failure.original_message,
-                                       failure.worker_traceback)
-            results[name] = outcome.evaluation
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 mp_context=get_context(_MP_START_METHOD)) as pool:
+            futures = [(task.policy_name, pool.submit(run_sweep_task, task))
+                       for task in tasks]
+            # Collect in declaration order: deterministic merge AND
+            # deterministic error attribution when several policies fail at
+            # once.
+            for name, future in futures:
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool as exc:
+                    # A worker died outright (OOM-kill, segfault) -- nothing
+                    # could ship a _SweepFailure back, so attribute the break
+                    # to the policy whose result was pending when it
+                    # surfaced.
+                    for _name, pending in futures:
+                        pending.cancel()
+                    raise PolicySweepError(
+                        name, type(exc).__name__,
+                        "a sweep worker process died abruptly (e.g. "
+                        "OOM-killed or segfaulted) while this policy was "
+                        f"pending: {exc}",
+                    ) from exc
+                if outcome.failure is not None:
+                    for _name, pending in futures:
+                        pending.cancel()
+                    failure = outcome.failure
+                    raise PolicySweepError(name, failure.original_type,
+                                           failure.original_message,
+                                           failure.worker_traceback)
+                results[name] = outcome.evaluation
+    finally:
+        # The executor's __exit__ has drained every running worker by the
+        # time control reaches here, so unlinking is safe -- and running it
+        # on *every* exit path (success, failed policy, broken pool) is what
+        # guarantees no shared-memory segment outlives the sweep.
+        if handle is not None:
+            handle.unlink()
     return results

@@ -21,6 +21,7 @@ from repro.core.windows import plan_vm
 from repro.prediction.utilization_model import WindowUtilizationPrediction
 from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
 from repro.trace.hardware import ClusterConfig
+from repro.trace.store import TraceStore
 from repro.trace.timeseries import SLOTS_PER_DAY, TimeWindowConfig, UtilizationSeries
 from repro.trace.trace import Trace
 from repro.trace.vm import VM_CATALOG, VMRecord
@@ -186,10 +187,29 @@ def build_chunked_bench_state(
         n_days=14 if smoke else 28, seed=seed)
 
 
-def generate_sweep_bench_trace(*, smoke: bool = False) -> Trace:
+def generate_sweep_bench_trace(*, smoke: bool = False,
+                               columnar: bool = False) -> Trace:
     """The multi-week trace swept by the sweep wall-clock measurements."""
     return generate_multiweek_trace(n_days=14 if smoke else 21,
-                                    n_vms=300 if smoke else 500)
+                                    n_vms=300 if smoke else 500,
+                                    columnar=columnar)
+
+
+def generate_store_bench_trace(*, smoke: bool = False,
+                               columnar: bool = False) -> Trace:
+    """The trace behind the trace-store benchmarks (footprint, filters, mmap).
+
+    Telemetry-dense on purpose: a long horizon with a moderate VM count, so
+    the flat utilization buffer dwarfs the per-VM metadata the way a
+    production trace does -- that is the regime where per-worker pickled
+    copies and full in-RAM loads visibly hurt.  Shared by
+    ``benchmarks/test_bench_trace_store.py`` and
+    ``scripts/run_benchmarks.py`` so the tracked numbers agree.
+    """
+    return generate_multiweek_trace(n_days=42 if smoke else 84,
+                                    n_vms=250 if smoke else 500,
+                                    servers_per_cluster=2,
+                                    columnar=columnar)
 
 
 def build_multiweek_replay_state(
@@ -229,6 +249,7 @@ def generate_multiweek_trace(
     seed: int = 2025,
     n_subscriptions: int = 40,
     servers_per_cluster: int = 1,
+    columnar: bool = False,
 ) -> Trace:
     """A multi-week synthetic trace for sweep benchmarks and scale tests.
 
@@ -236,6 +257,11 @@ def generate_multiweek_trace(
     sweep benchmark and the streaming-replay demonstrations need the *same*
     long trace so their numbers are comparable PR over PR, which is why the
     parameter set lives here instead of inline in each benchmark.
+
+    With ``columnar=True`` the trace comes back store-backed
+    (:class:`~repro.trace.store.TraceStore` columns with zero-copy row
+    views); the VM population and every telemetry value are identical
+    either way.
     """
     if n_days < 14:
         raise ValueError(f"a multi-week trace needs n_days >= 14, got {n_days}")
@@ -243,4 +269,7 @@ def generate_multiweek_trace(
         n_vms=n_vms, n_days=n_days, seed=seed,
         n_subscriptions=n_subscriptions,
         servers_per_cluster=servers_per_cluster)
-    return TraceGenerator(config).generate()
+    trace = TraceGenerator(config).generate()
+    if columnar:
+        return TraceStore.from_trace(trace).as_trace()
+    return trace

@@ -14,6 +14,7 @@ from repro.trace.timeseries import (
     slots_for_days,
     slots_for_hours,
 )
+from repro.trace.store import SharedTraceHandle, TraceStore
 from repro.trace.trace import Trace, merge_traces
 from repro.trace.vm import (
     TYPICAL_VM_CONFIG,
@@ -38,6 +39,7 @@ __all__ = [
     "SLOTS_PER_HOUR",
     "SWEEP_WINDOW_HOURS",
     "ServerConfig",
+    "SharedTraceHandle",
     "Subscription",
     "SubscriptionProfile",
     "SubscriptionType",
@@ -45,6 +47,7 @@ __all__ = [
     "TimeWindowConfig",
     "Trace",
     "TraceGenerator",
+    "TraceStore",
     "TraceGeneratorConfig",
     "UtilizationSeries",
     "VMConfig",

@@ -1,0 +1,747 @@
+"""Columnar trace storage: struct-of-arrays VM metadata plus flat telemetry.
+
+The object representation of a trace -- a ``List[VMRecord]``, each holding a
+``Dict[Resource, UtilizationSeries]`` -- is convenient for per-VM callers but
+expensive at scale: filtering walks Python objects, every sweep worker
+unpickles its own full copy of the telemetry, and the whole trace must live
+in RAM to be replayed.  :class:`TraceStore` is the dense formulation (the
+same move :class:`~repro.core.scheduler.ClusterLedger` made for scheduling
+state and :class:`~repro.simulator.replay.VectorizedViolationMeter` for
+contention accounting):
+
+* all VM metadata lives in parallel numpy columns (``start_slot``,
+  ``end_slot``, per-resource allocations, cluster/config indices,
+  long-running flags), so ``Trace.filter`` / ``alive_at`` / ``arriving_in``
+  become whole-column comparisons instead of Python loops;
+* all telemetry for one resource lives in a single contiguous flat buffer,
+  with an ``(n_vms + 1,)`` offsets array mapping VM ``i`` to its samples
+  ``buffer[offsets[i]:offsets[i + 1]]``.
+
+Per-VM callers keep working unchanged: :meth:`TraceStore.as_trace`
+materializes ordinary :class:`VMRecord` objects whose ``UtilizationSeries``
+*views* slice the shared buffer without copying (the ``ServerAccount``-over-
+``ClusterLedger`` pattern).  A store-backed :class:`Trace` carries its store
+in ``Trace.store`` and routes the hot filters through the columns.
+
+Two backends sit on top of the columns:
+
+* **Shared memory** (:meth:`export_shared` / :class:`SharedTraceHandle`):
+  the buffers are copied once into ``multiprocessing.shared_memory``
+  segments and workers attach zero-copy, so a process-pool sweep ships a
+  handle of a few kilobytes instead of pickling megabytes of telemetry per
+  worker (see :mod:`repro.simulator.sweep`).
+* **On-disk store** (:meth:`save` / :meth:`open`): columns land in an
+  ``.npz`` plus one raw ``.npy`` buffer per resource.  Opening with
+  ``mmap=True`` memory-maps the buffers, so the chunked replay meter reads
+  only the slot-chunk it is accumulating -- a trace whose telemetry exceeds
+  RAM stays replayable end to end.
+
+Exactness contract
+------------------
+``from_trace`` preserves the source dtype by default (float64 for generated
+traces), so a store-backed replay is *bitwise* identical to the object-based
+path -- ``tests/test_trace_store.py`` and the golden-trace pins assert this.
+Passing ``util_dtype=np.float32`` halves the buffer for storage and
+shared-memory fan-out at a documented precision cost; both paths over the
+*same* store always agree bitwise because they read the same buffer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.trace.hardware import ClusterConfig, Fleet
+from repro.trace.timeseries import SLOTS_PER_DAY, UtilizationSeries
+from repro.trace.trace import Trace
+from repro.trace.vm import (
+    Offering,
+    Subscription,
+    SubscriptionType,
+    VMConfig,
+    VMRecord,
+)
+
+#: On-disk format version (bumped on incompatible layout changes).
+STORE_FORMAT_VERSION = 1
+
+#: File names of the on-disk layout.
+_META_FILE = "meta.json"
+_COLUMNS_FILE = "columns.npz"
+
+#: Stable code tables for the enum columns (persisted in ``meta.json`` so a
+#: reordering of the enums cannot silently re-label old stores).
+_OFFERING_VALUES: Tuple[str, ...] = tuple(o.value for o in Offering)
+_SUBTYPE_VALUES: Tuple[str, ...] = tuple(t.value for t in SubscriptionType)
+
+
+class SharedTraceHandle:
+    """A picklable, kilobyte-sized reference to an exported :class:`TraceStore`.
+
+    Created by :meth:`TraceStore.export_shared` in the parent process; the
+    handle travels to workers through pickle carrying only the small metadata
+    columns and the *names* of the shared-memory segments holding the
+    telemetry buffers.  Workers call :meth:`attach` to map the segments
+    zero-copy and :meth:`TraceStore.close_shared` when done; the exporting
+    process calls :meth:`unlink` exactly once after the pool has drained.
+    """
+
+    def __init__(self, state: Dict[str, object],
+                 segments: List[Tuple[str, str, int]], util_dtype: str,
+                 owned: Optional[List[shared_memory.SharedMemory]] = None):
+        self._state = state
+        self._segments = segments  # (resource value, segment name, n_samples)
+        self._util_dtype = util_dtype
+        self._owned = owned or []
+
+    @property
+    def segment_names(self) -> List[str]:
+        return [name for _resource, name, _size in self._segments]
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The owner's SharedMemory objects must not travel to workers: each
+        # process manages its own mappings, and only the owner may unlink.
+        return {"state": self._state, "segments": self._segments,
+                "util_dtype": self._util_dtype}
+
+    def __setstate__(self, payload: Dict[str, object]) -> None:
+        self._state = payload["state"]
+        self._segments = payload["segments"]
+        self._util_dtype = payload["util_dtype"]
+        self._owned = []
+
+    def attach(self) -> "TraceStore":
+        """Map the exported buffers and rebuild the store around them.
+
+        The returned store's telemetry arrays are views of the shared pages
+        (no copy); call :meth:`TraceStore.close_shared` on it once the work
+        is done so the mapping is released promptly.
+        """
+        dtype = np.dtype(self._util_dtype)
+        shms: List[shared_memory.SharedMemory] = []
+        util: Dict[Resource, np.ndarray] = {}
+        # Note on the resource tracker: spawned pool workers inherit the
+        # exporting process's tracker, so the attach-side registration below
+        # is a no-op and cleanup stays solely with the owner's unlink() --
+        # including when a worker dies without running any cleanup.  (An
+        # *unrelated* process attaching by name would bring its own tracker,
+        # which unlinks registered segments at exit; handles are meant to
+        # travel to children of the exporter.)
+        try:
+            for resource_value, name, n_samples in self._segments:
+                shm = shared_memory.SharedMemory(name=name)
+                shms.append(shm)
+                util[Resource(resource_value)] = np.ndarray(
+                    (n_samples,), dtype=dtype, buffer=shm.buf)
+        except Exception:
+            for shm in shms:
+                shm.close()
+            raise
+        store = TraceStore._from_state(self._state, util)
+        store._shared_segments = shms
+        return store
+
+    def unlink(self) -> None:
+        """Release and destroy the segments (exporting process only)."""
+        for shm in self._owned:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked (idempotent)
+                pass
+        self._owned = []
+
+
+class TraceStore:
+    """Struct-of-arrays trace: metadata columns plus flat telemetry buffers.
+
+    Build one with :meth:`from_trace` (from an object trace), :meth:`open`
+    (from disk), or :meth:`SharedTraceHandle.attach` (from shared memory).
+    Row ``i`` of every column describes the same VM, and a store-backed
+    :class:`Trace` keeps ``trace.vms[i]`` in lockstep with row ``i``.
+    """
+
+    def __init__(self, *, vm_ids: np.ndarray, subscription_ids: np.ndarray,
+                 server_ids: np.ndarray, configs: List[VMConfig],
+                 config_index: np.ndarray, cluster_ids: List[str],
+                 cluster_index: np.ndarray, start_slot: np.ndarray,
+                 end_slot: np.ndarray, offering_code: np.ndarray,
+                 subtype_code: np.ndarray, series_start: np.ndarray,
+                 row_offset: np.ndarray, row_length: np.ndarray,
+                 util: Dict[Resource, np.ndarray], n_slots: int,
+                 fleet: Fleet, subscriptions: Dict[str, Subscription],
+                 contiguous: bool, validate_ids: bool = True):
+        self.vm_ids = vm_ids
+        self.subscription_ids = subscription_ids
+        self.server_ids = server_ids
+        self.configs = configs
+        self.config_index = config_index
+        self.cluster_ids = cluster_ids
+        self.cluster_index = cluster_index
+        self.start_slot = start_slot
+        self.end_slot = end_slot
+        self.offering_code = offering_code
+        self.subtype_code = subtype_code
+        self.series_start = series_start
+        self.row_offset = row_offset
+        self.row_length = row_length
+        self.util = util
+        self.n_slots = int(n_slots)
+        self.fleet = fleet
+        self.subscriptions = subscriptions
+        self._contiguous = contiguous
+        self._shared_segments: List[shared_memory.SharedMemory] = []
+        self._id_index: Optional[Dict[str, int]] = None
+        self._alloc: Optional[np.ndarray] = None
+        # Row selections of an already-validated store stay duplicate-free,
+        # so the (O(n) Python) check is skipped on the filter fast path.
+        if validate_ids:
+            self._validate_unique_ids()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trace(cls, trace: Trace,
+                   util_dtype: Optional[np.dtype] = None) -> "TraceStore":
+        """Columnarize an object trace.
+
+        With ``util_dtype=None`` (the default) the telemetry buffers keep the
+        source dtype, so every value -- and therefore every downstream
+        replay/characterization result -- is bitwise identical to the object
+        path.  Passing ``np.float32`` halves the buffers at a precision cost.
+
+        Raises ``ValueError`` for non-uniform telemetry: every VM must carry
+        the same resource set, and within one VM every resource's series must
+        share one start slot and length (the single offsets array is what
+        makes the flat layout sliceable).
+        """
+        vms = trace.vms
+        n = len(vms)
+        resources: Tuple[Resource, ...] = ()
+        if n:
+            present = set(vms[0].utilization)
+            resources = tuple(r for r in ALL_RESOURCES if r in present)
+
+        vm_ids = np.empty(n, dtype=object)
+        subscription_ids = np.empty(n, dtype=object)
+        server_ids = np.empty(n, dtype=object)
+        config_table: Dict[VMConfig, int] = {}
+        configs: List[VMConfig] = []
+        config_index = np.zeros(n, dtype=np.int32)
+        cluster_ids = list(trace.fleet.cluster_ids())
+        cluster_table = {cid: i for i, cid in enumerate(cluster_ids)}
+        cluster_index = np.zeros(n, dtype=np.int32)
+        start_slot = np.zeros(n, dtype=np.int64)
+        end_slot = np.zeros(n, dtype=np.int64)
+        offering_code = np.zeros(n, dtype=np.int8)
+        subtype_code = np.zeros(n, dtype=np.int8)
+        series_start = np.zeros(n, dtype=np.int64)
+        row_length = np.zeros(n, dtype=np.int64)
+
+        offering_codes = {value: i for i, value in enumerate(_OFFERING_VALUES)}
+        subtype_codes = {value: i for i, value in enumerate(_SUBTYPE_VALUES)}
+
+        chunks: Dict[Resource, List[np.ndarray]] = {r: [] for r in resources}
+        for i, vm in enumerate(vms):
+            if set(vm.utilization) != set(resources):
+                raise ValueError(
+                    f"VM {vm.vm_id} carries telemetry for "
+                    f"{sorted(r.value for r in vm.utilization)}, expected "
+                    f"{sorted(r.value for r in resources)}: a columnar store "
+                    f"needs a uniform resource set")
+            vm_ids[i] = vm.vm_id
+            subscription_ids[i] = vm.subscription_id
+            server_ids[i] = vm.server_id
+            config = vm.config
+            index = config_table.get(config)
+            if index is None:
+                index = config_table[config] = len(configs)
+                configs.append(config)
+            config_index[i] = index
+            cluster = cluster_table.get(vm.cluster_id)
+            if cluster is None:
+                cluster = cluster_table[vm.cluster_id] = len(cluster_ids)
+                cluster_ids.append(vm.cluster_id)
+            cluster_index[i] = cluster
+            start_slot[i] = vm.start_slot
+            end_slot[i] = vm.end_slot
+            offering_code[i] = offering_codes[vm.offering.value]
+            subtype_code[i] = subtype_codes[vm.subscription_type.value]
+            first = None
+            for resource in resources:
+                series = vm.utilization[resource]
+                if first is None:
+                    first = series
+                    series_start[i] = series.start_slot
+                    row_length[i] = len(series)
+                elif (series.start_slot != first.start_slot
+                      or len(series) != len(first)):
+                    raise ValueError(
+                        f"VM {vm.vm_id}: {resource.value} series covers "
+                        f"[{series.start_slot}, {series.start_slot + len(series)}) "
+                        f"but {resources[0].value} covers "
+                        f"[{first.start_slot}, {first.start_slot + len(first)}); "
+                        f"a single offsets array needs equal coverage")
+                chunks[resource].append(series.values)
+
+        util: Dict[Resource, np.ndarray] = {}
+        for resource in resources:
+            if chunks[resource]:
+                buffer = np.concatenate(chunks[resource])
+            else:
+                buffer = np.empty(0, dtype=np.float64)
+            if util_dtype is not None:
+                buffer = buffer.astype(util_dtype, copy=False)
+            util[resource] = buffer
+
+        row_offset = np.zeros(n, dtype=np.int64)
+        if n:
+            np.cumsum(row_length[:-1], out=row_offset[1:])
+        return cls(
+            vm_ids=vm_ids, subscription_ids=subscription_ids,
+            server_ids=server_ids, configs=configs, config_index=config_index,
+            cluster_ids=cluster_ids, cluster_index=cluster_index,
+            start_slot=start_slot, end_slot=end_slot,
+            offering_code=offering_code, subtype_code=subtype_code,
+            series_start=series_start, row_offset=row_offset,
+            row_length=row_length, util=util, n_slots=trace.n_slots,
+            fleet=trace.fleet, subscriptions=dict(trace.subscriptions),
+            contiguous=True)
+
+    def _validate_unique_ids(self) -> None:
+        if len(set(self.vm_ids.tolist())) != len(self.vm_ids):
+            seen: set = set()
+            for vm_id in self.vm_ids.tolist():
+                if vm_id in seen:
+                    raise ValueError(f"duplicate VM id {vm_id!r} in trace store")
+                seen.add(vm_id)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.vm_ids.size)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self)
+
+    @property
+    def resources(self) -> Tuple[Resource, ...]:
+        return tuple(self.util)
+
+    @property
+    def util_dtype(self) -> np.dtype:
+        for buffer in self.util.values():
+            return buffer.dtype
+        return np.dtype(np.float64)
+
+    @property
+    def util_nbytes(self) -> int:
+        """Total telemetry bytes across every resource buffer."""
+        return int(sum(buffer.nbytes for buffer in self.util.values()))
+
+    @property
+    def contiguous(self) -> bool:
+        """Whether rows map to one monotone ``(n_vms + 1,)`` offsets array."""
+        return self._contiguous
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """The canonical ``(n_vms + 1,)`` offsets array (contiguous stores)."""
+        if not self._contiguous:
+            raise ValueError(
+                "store is a non-contiguous selection; call compact() first")
+        out = np.zeros(len(self) + 1, dtype=np.int64)
+        np.cumsum(self.row_length, out=out[1:])
+        return out
+
+    @property
+    def lifetime_slots(self) -> np.ndarray:
+        return self.end_slot - self.start_slot
+
+    @property
+    def alloc(self) -> np.ndarray:
+        """Per-VM allocations, shape ``(n_vms, len(ALL_RESOURCES))``."""
+        if self._alloc is None:
+            table = np.array(
+                [[cfg.allocation_vector()[r] for r in ALL_RESOURCES]
+                 for cfg in self.configs], dtype=np.float64)
+            if not len(table):
+                table = np.zeros((0, len(ALL_RESOURCES)))
+            self._alloc = table[self.config_index]
+        return self._alloc
+
+    def index_of(self, vm_id: str) -> int:
+        """Row index of a VM id (maintained dict, O(1) after first use)."""
+        if self._id_index is None:
+            self._id_index = {vm_id: i for i, vm_id in
+                              enumerate(self.vm_ids.tolist())}
+        try:
+            return self._id_index[vm_id]
+        except KeyError as exc:
+            raise KeyError(f"no VM with id {vm_id!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Vectorized column predicates (the Trace fast paths)
+    # ------------------------------------------------------------------ #
+    def alive_at_indices(self, slot: int) -> np.ndarray:
+        """Rows alive at *slot*, in row order."""
+        return np.nonzero((self.start_slot <= slot) & (slot < self.end_slot))[0]
+
+    def arriving_in_indices(self, start: int, end: int) -> np.ndarray:
+        """Rows whose allocation slot falls in ``[start, end)``."""
+        return np.nonzero((self.start_slot >= start) & (self.start_slot < end))[0]
+
+    def long_running_mask(self, min_days: float = 1.0) -> np.ndarray:
+        """Element-for-element the same comparison as
+        :meth:`VMRecord.is_long_running` (``lifetime_days > min_days``)."""
+        return self.lifetime_slots / SLOTS_PER_DAY > min_days
+
+    def in_cluster_indices(self, cluster_id: str) -> np.ndarray:
+        try:
+            code = self.cluster_ids.index(cluster_id)
+        except ValueError:
+            return np.empty(0, dtype=np.intp)
+        return np.nonzero(self.cluster_index == code)[0]
+
+    def arrivals_for(self, cluster_id: str, min_start_slot: int) -> np.ndarray:
+        """Rows replayed by one cluster simulation: in the cluster, arriving
+        at or after *min_start_slot*."""
+        try:
+            code = self.cluster_ids.index(cluster_id)
+        except ValueError:
+            return np.empty(0, dtype=np.intp)
+        return np.nonzero((self.cluster_index == code)
+                          & (self.start_slot >= min_start_slot))[0]
+
+    # ------------------------------------------------------------------ #
+    # Row selection
+    # ------------------------------------------------------------------ #
+    def select(self, indices: Sequence[int]) -> "TraceStore":
+        """A store over the given rows, sharing the telemetry buffers.
+
+        Selection is zero-copy on the telemetry: the new store keeps the
+        same flat buffers and simply re-points its per-row offset/length
+        columns, so filtering a multi-gigabyte trace costs only the small
+        metadata gathers.
+
+        Accepts row indices or a boolean row mask (e.g. the output of
+        :meth:`long_running_mask`).  Indices may reorder rows but must be
+        unique -- a repeated index would duplicate a VM id, which every
+        id-based lookup (and the skipped duplicate re-validation below)
+        relies on being impossible.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == np.bool_:
+            if idx.shape != (len(self),):
+                raise ValueError(
+                    f"boolean selection mask has shape {idx.shape}, "
+                    f"expected ({len(self)},)")
+            idx = np.nonzero(idx)[0]
+        idx = idx.astype(np.intp, copy=False)
+        if idx.size > 1 and np.unique(idx).size != idx.size:
+            raise ValueError("select() indices must be unique (a repeated "
+                             "row would duplicate its VM id)")
+        return TraceStore(
+            vm_ids=self.vm_ids[idx], subscription_ids=self.subscription_ids[idx],
+            server_ids=self.server_ids[idx], configs=self.configs,
+            config_index=self.config_index[idx], cluster_ids=self.cluster_ids,
+            cluster_index=self.cluster_index[idx],
+            start_slot=self.start_slot[idx], end_slot=self.end_slot[idx],
+            offering_code=self.offering_code[idx],
+            subtype_code=self.subtype_code[idx],
+            series_start=self.series_start[idx],
+            row_offset=self.row_offset[idx], row_length=self.row_length[idx],
+            util=self.util, n_slots=self.n_slots, fleet=self.fleet,
+            subscriptions=self.subscriptions, contiguous=False,
+            validate_ids=False)
+
+    def compact(self) -> "TraceStore":
+        """A contiguous copy of a selection (no-op for contiguous stores)."""
+        if self._contiguous:
+            return self
+        n = len(self)
+        row_offset = np.zeros(n, dtype=np.int64)
+        if n:
+            np.cumsum(self.row_length[:-1], out=row_offset[1:])
+        util: Dict[Resource, np.ndarray] = {}
+        total = int(self.row_length.sum())
+        for resource, buffer in self.util.items():
+            packed = np.empty(total, dtype=buffer.dtype)
+            for i in range(n):
+                src = self.row_offset[i]
+                dst = row_offset[i]
+                length = self.row_length[i]
+                packed[dst:dst + length] = buffer[src:src + length]
+            util[resource] = packed
+        return TraceStore(
+            vm_ids=self.vm_ids.copy(), subscription_ids=self.subscription_ids.copy(),
+            server_ids=self.server_ids.copy(), configs=list(self.configs),
+            config_index=self.config_index.copy(), cluster_ids=list(self.cluster_ids),
+            cluster_index=self.cluster_index.copy(),
+            start_slot=self.start_slot.copy(), end_slot=self.end_slot.copy(),
+            offering_code=self.offering_code.copy(),
+            subtype_code=self.subtype_code.copy(),
+            series_start=self.series_start.copy(), row_offset=row_offset,
+            row_length=self.row_length.copy(), util=util, n_slots=self.n_slots,
+            fleet=self.fleet, subscriptions=self.subscriptions, contiguous=True,
+            validate_ids=False)
+
+    # ------------------------------------------------------------------ #
+    # Object views
+    # ------------------------------------------------------------------ #
+    def vm_view(self, i: int) -> VMRecord:
+        """An ordinary :class:`VMRecord` over row *i* (telemetry not copied)."""
+        utilization: Dict[Resource, UtilizationSeries] = {}
+        offset = int(self.row_offset[i])
+        length = int(self.row_length[i])
+        start = int(self.series_start[i])
+        for resource, buffer in self.util.items():
+            utilization[resource] = UtilizationSeries.from_validated(
+                buffer[offset:offset + length], start)
+        return VMRecord(
+            vm_id=self.vm_ids[i],
+            subscription_id=self.subscription_ids[i],
+            config=self.configs[int(self.config_index[i])],
+            cluster_id=self.cluster_ids[int(self.cluster_index[i])],
+            start_slot=int(self.start_slot[i]),
+            end_slot=int(self.end_slot[i]),
+            offering=Offering(_OFFERING_VALUES[self.offering_code[i]]),
+            subscription_type=SubscriptionType(_SUBTYPE_VALUES[self.subtype_code[i]]),
+            server_id=self.server_ids[i],
+            utilization=utilization,
+        )
+
+    def as_trace(self) -> Trace:
+        """A store-backed :class:`Trace`: row views plus vectorized filters."""
+        return Trace(
+            vms=[self.vm_view(i) for i in range(len(self))],
+            fleet=self.fleet, n_slots=self.n_slots,
+            subscriptions=self.subscriptions, store=self)
+
+    # ------------------------------------------------------------------ #
+    # On-disk backend
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> Path:
+        """Write the store to *path* (a directory; created if missing).
+
+        Layout: ``meta.json`` (format version, shapes, configs, fleet,
+        subscriptions, enum tables), ``columns.npz`` (every metadata column
+        including the canonical offsets array), and one raw ``util_<r>.npy``
+        buffer per resource -- raw so :meth:`open` can memory-map it.
+        """
+        store = self.compact()
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format_version": STORE_FORMAT_VERSION,
+            "n_vms": len(store),
+            "n_slots": store.n_slots,
+            "util_dtype": store.util_dtype.str,
+            "resources": [r.value for r in store.resources],
+            "offering_values": list(_OFFERING_VALUES),
+            "subscription_type_values": list(_SUBTYPE_VALUES),
+            "cluster_ids": list(store.cluster_ids),
+            "configs": [asdict(cfg) for cfg in store.configs],
+            "fleet": _fleet_to_jsonable(store.fleet),
+            "subscriptions": [_subscription_to_jsonable(sub)
+                              for sub in store.subscriptions.values()],
+        }
+        (path / _META_FILE).write_text(json.dumps(meta, indent=2) + "\n")
+        np.savez(
+            path / _COLUMNS_FILE,
+            vm_ids=np.asarray(store.vm_ids.tolist(), dtype=np.str_),
+            subscription_ids=np.asarray(store.subscription_ids.tolist(),
+                                        dtype=np.str_),
+            server_ids=np.asarray(
+                [sid if sid is not None else "" for sid in store.server_ids],
+                dtype=np.str_),
+            has_server_id=np.asarray(
+                [sid is not None for sid in store.server_ids], dtype=bool),
+            config_index=store.config_index,
+            cluster_index=store.cluster_index,
+            start_slot=store.start_slot,
+            end_slot=store.end_slot,
+            offering_code=store.offering_code,
+            subtype_code=store.subtype_code,
+            series_start=store.series_start,
+            offsets=store.offsets,
+        )
+        for resource, buffer in store.util.items():
+            np.save(path / f"util_{resource.value}.npy", buffer)
+        return path
+
+    @classmethod
+    def open(cls, path, mmap: bool = False) -> "TraceStore":
+        """Load a saved store; ``mmap=True`` memory-maps the telemetry.
+
+        The metadata columns always load into RAM (they are a few bytes per
+        VM); with ``mmap=True`` the per-resource buffers stay on disk and
+        pages are only faulted in as slices are actually read -- which, with
+        the chunked replay meter, bounds replay RAM to the slot-chunk.
+        """
+        path = Path(path)
+        meta = json.loads((path / _META_FILE).read_text())
+        if meta["format_version"] != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"trace store at {path} has format version "
+                f"{meta['format_version']}; this build reads "
+                f"{STORE_FORMAT_VERSION}")
+        # The enum code columns are only meaningful against the tables they
+        # were written with; a reordered or extended enum must fail loudly
+        # instead of silently re-labelling every VM.
+        for key, current in (("offering_values", _OFFERING_VALUES),
+                             ("subscription_type_values", _SUBTYPE_VALUES)):
+            persisted = tuple(meta[key])
+            if persisted != current:
+                raise ValueError(
+                    f"trace store at {path} was written with {key} "
+                    f"{list(persisted)}, but this build uses {list(current)}; "
+                    f"refusing to re-label the persisted codes")
+        columns = np.load(path / _COLUMNS_FILE)
+        offsets = columns["offsets"]
+        server_raw = columns["server_ids"].tolist()
+        has_server = columns["has_server_id"].tolist()
+        server_ids = np.empty(len(server_raw), dtype=object)
+        for i, (sid, present) in enumerate(zip(server_raw, has_server)):
+            server_ids[i] = sid if present else None
+        util: Dict[Resource, np.ndarray] = {}
+        for resource_value in meta["resources"]:
+            util[Resource(resource_value)] = np.load(
+                path / f"util_{resource_value}.npy",
+                mmap_mode="r" if mmap else None)
+        fleet = _fleet_from_jsonable(meta["fleet"])
+        subscriptions = {
+            sub["subscription_id"]: _subscription_from_jsonable(sub)
+            for sub in meta["subscriptions"]}
+        return cls(
+            vm_ids=np.asarray(columns["vm_ids"].tolist(), dtype=object),
+            subscription_ids=np.asarray(columns["subscription_ids"].tolist(),
+                                        dtype=object),
+            server_ids=server_ids,
+            configs=[VMConfig(**cfg) for cfg in meta["configs"]],
+            config_index=columns["config_index"],
+            cluster_ids=list(meta["cluster_ids"]),
+            cluster_index=columns["cluster_index"],
+            start_slot=columns["start_slot"], end_slot=columns["end_slot"],
+            offering_code=columns["offering_code"],
+            subtype_code=columns["subtype_code"],
+            series_start=columns["series_start"],
+            row_offset=offsets[:-1].astype(np.int64, copy=True),
+            row_length=np.diff(offsets).astype(np.int64, copy=False),
+            util=util, n_slots=int(meta["n_slots"]), fleet=fleet,
+            subscriptions=subscriptions, contiguous=True)
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory backend
+    # ------------------------------------------------------------------ #
+    def export_shared(self) -> SharedTraceHandle:
+        """Copy the telemetry buffers into shared-memory segments.
+
+        Returns the :class:`SharedTraceHandle` to ship to workers.  The
+        caller owns the segments and must call :meth:`SharedTraceHandle.unlink`
+        exactly once after every worker is done (a ``finally`` around the
+        pool is the right shape -- see ``repro.simulator.sweep``).
+        """
+        store = self.compact()
+        owned: List[shared_memory.SharedMemory] = []
+        segments: List[Tuple[str, str, int]] = []
+        try:
+            for resource, buffer in store.util.items():
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, buffer.nbytes))
+                owned.append(shm)
+                view = np.ndarray(buffer.shape, dtype=buffer.dtype,
+                                  buffer=shm.buf)
+                view[:] = buffer
+                segments.append((resource.value, shm.name, int(buffer.size)))
+        except Exception:
+            for shm in owned:
+                shm.close()
+                shm.unlink()
+            raise
+        return SharedTraceHandle(store._meta_state(), segments,
+                                 store.util_dtype.str, owned=owned)
+
+    def close_shared(self) -> None:
+        """Release this process's mapping of attached segments (workers)."""
+        for shm in self._shared_segments:
+            shm.close()
+        self._shared_segments = []
+
+    def _meta_state(self) -> Dict[str, object]:
+        """Everything except the telemetry buffers, as a picklable dict."""
+        return {
+            "vm_ids": self.vm_ids, "subscription_ids": self.subscription_ids,
+            "server_ids": self.server_ids, "configs": self.configs,
+            "config_index": self.config_index, "cluster_ids": self.cluster_ids,
+            "cluster_index": self.cluster_index, "start_slot": self.start_slot,
+            "end_slot": self.end_slot, "offering_code": self.offering_code,
+            "subtype_code": self.subtype_code, "series_start": self.series_start,
+            "row_offset": self.row_offset, "row_length": self.row_length,
+            "n_slots": self.n_slots, "fleet": self.fleet,
+            "subscriptions": self.subscriptions,
+        }
+
+    @classmethod
+    def _from_state(cls, state: Dict[str, object],
+                    util: Dict[Resource, np.ndarray]) -> "TraceStore":
+        return cls(util=util, contiguous=True, **state)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------- #
+# JSON round-tripping of the carried objects
+# --------------------------------------------------------------------------- #
+def _fleet_to_jsonable(fleet: Fleet) -> Dict[str, object]:
+    return {
+        "clusters": [
+            {
+                "cluster_id": cluster.cluster_id,
+                "region": cluster.region,
+                "generation_counts": [[gen, count] for gen, count
+                                      in cluster.generation_counts],
+                "arrival_weight": cluster.arrival_weight,
+            }
+            for cluster in fleet.clusters
+        ]
+    }
+
+
+def _fleet_from_jsonable(payload: Dict[str, object]) -> Fleet:
+    clusters = [
+        ClusterConfig(
+            cluster_id=entry["cluster_id"],
+            region=entry["region"],
+            generation_counts=tuple(
+                (gen, int(count)) for gen, count in entry["generation_counts"]),
+            arrival_weight=float(entry["arrival_weight"]),
+        )
+        for entry in payload["clusters"]
+    ]
+    return Fleet(clusters=clusters)
+
+
+def _subscription_to_jsonable(sub: Subscription) -> Dict[str, str]:
+    return {
+        "subscription_id": sub.subscription_id,
+        "subscription_type": sub.subscription_type.value,
+        "archetype": sub.archetype,
+        "offering": sub.offering.value,
+    }
+
+
+def _subscription_from_jsonable(payload: Dict[str, str]) -> Subscription:
+    return Subscription(
+        subscription_id=payload["subscription_id"],
+        subscription_type=SubscriptionType(payload["subscription_type"]),
+        archetype=payload["archetype"],
+        offering=Offering(payload["offering"]),
+    )

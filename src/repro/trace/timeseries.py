@@ -113,6 +113,22 @@ class UtilizationSeries:
         self.values = np.clip(arr, 0.0, 1.0)
         self.start_slot = int(start_slot)
 
+    @classmethod
+    def from_validated(cls, values: np.ndarray, start_slot: int) -> "UtilizationSeries":
+        """Wrap an already-validated array without copying or clipping.
+
+        The trace store's row views go through here: ``values`` is a slice of
+        the shared (possibly memory-mapped) telemetry buffer, and copying or
+        clipping it would defeat the zero-copy layout.  Callers guarantee the
+        array is one-dimensional, non-empty, and already in ``[0, 1]`` --
+        which holds for any buffer built from ``UtilizationSeries`` objects,
+        since ``__init__`` enforced it on the way in.
+        """
+        series = cls.__new__(cls)
+        series.values = values
+        series.start_slot = int(start_slot)
+        return series
+
     # ------------------------------------------------------------------ #
     # Basic statistics
     # ------------------------------------------------------------------ #

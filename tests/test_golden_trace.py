@@ -19,6 +19,7 @@ import pytest
 
 from repro.simulator import SimulationConfig, evaluate_policies
 from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
+from repro.trace.store import TraceStore
 
 #: policy -> (requested, accepted, rejected, servers_in_use,
 #:            avg_concurrent_cores, avg_concurrent_memory_gb,
@@ -94,9 +95,44 @@ def test_process_pool_sweep_matches_golden(golden_trace, golden_sim_config,
     """The process-pool sweep is bitwise identical to the serial walk on the
     golden trace, for multiple worker counts: same policies in the same
     order, every PolicyEvaluation equal field for field (including the
-    per-server violation breakdowns and the relative capacity columns)."""
+    per-server violation breakdowns and the relative capacity columns).
+    (With the default ``sweep_trace_transport="auto"`` this also exercises
+    the shared-memory trace export on a plain object trace.)"""
     sim = replace(golden_sim_config, sweep_parallelism=sweep_workers)
     pooled = evaluate_policies(golden_trace, config=sim)
+    assert list(pooled) == list(golden_results)
+    for name, evaluation in golden_results.items():
+        assert pooled[name] == evaluation, f"policy {name} diverged"
+
+
+@pytest.fixture(scope="module")
+def golden_store_trace(golden_trace):
+    """The golden trace columnarized: same VMs, same float64 telemetry bits,
+    viewed through the TraceStore fast paths."""
+    return TraceStore.from_trace(golden_trace).as_trace()
+
+
+def test_store_backed_serial_matches_golden(golden_store_trace,
+                                            golden_sim_config, golden_results):
+    """A TraceStore-backed serial evaluation reproduces the pinned numbers
+    bitwise: the columnar filters and zero-copy views are an invisible
+    representation change, not a behaviour change."""
+    results = evaluate_policies(golden_store_trace, config=golden_sim_config)
+    assert list(results) == list(golden_results)
+    for name, evaluation in golden_results.items():
+        assert results[name] == evaluation, f"policy {name} diverged"
+
+
+@pytest.mark.parametrize("transport", ["shared", "pickle"])
+def test_store_backed_pool_sweep_matches_golden(golden_store_trace,
+                                                golden_sim_config,
+                                                golden_results, transport):
+    """Process-pool sweeps over the store-backed golden trace hit the pins
+    for both trace transports: workers reading the parent's shared-memory
+    buffers and workers unpickling private copies see the same bits."""
+    sim = replace(golden_sim_config, sweep_parallelism=2,
+                  sweep_trace_transport=transport)
+    pooled = evaluate_policies(golden_store_trace, config=sim)
     assert list(pooled) == list(golden_results)
     for name, evaluation in golden_results.items():
         assert pooled[name] == evaluation, f"policy {name} diverged"

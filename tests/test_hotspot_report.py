@@ -1,0 +1,87 @@
+"""The hotspot report: per-server breakdowns surfaced per cluster.
+
+`ViolationStats` has recorded per-server observed/violation counts since
+PR 2; `hotspot_report` turns them into the mitigation-facing view (worst
+servers first, per-cluster violation-rate CDFs).  The structure is pinned
+on hand-built stats so the ranking and grouping rules cannot drift, plus
+one integration pass over a real simulation result.
+"""
+
+import pytest
+
+from repro.core.policy import COACH_POLICY
+from repro.experiments.figures import hotspot_report
+from repro.simulator import SimulationConfig, ViolationStats, simulate_policy
+
+
+@pytest.fixture()
+def stats():
+    return ViolationStats.from_counts(
+        per_server_observed={"C1-s000": 100, "C1-s001": 200, "C2-s000": 50,
+                             "C2-s001": 100},
+        per_server_cpu_violations={"C1-s000": 10, "C1-s001": 5, "C2-s000": 25,
+                                   "C2-s001": 0},
+        per_server_memory_violations={"C1-s000": 10, "C1-s001": 0,
+                                      "C2-s000": 0, "C2-s001": 1},
+    )
+
+
+class TestHotspotReport:
+    def test_hotspots_ranked_worst_first(self, stats):
+        report = hotspot_report(stats)
+        rates = [row["violation_rate"] for row in report["hotspots"]]
+        assert rates == sorted(rates, reverse=True)
+        # C2-s000: 25/50 = 0.5 is the worst server.
+        worst = report["hotspots"][0]
+        assert worst["server_id"] == "C2-s000"
+        assert worst["cluster_id"] == "C2"
+        assert worst["violation_rate"] == pytest.approx(0.5)
+        assert report["n_servers"] == 4
+
+    def test_top_n_truncates(self, stats):
+        report = hotspot_report(stats, top_n=2)
+        assert len(report["hotspots"]) == 2
+        # Truncation only limits the table; cluster stats stay complete.
+        assert report["n_servers"] == 4
+        assert sum(c["n_servers"] for c in report["per_cluster"].values()) == 4
+
+    def test_per_cluster_cdf(self, stats):
+        report = hotspot_report(stats)
+        assert sorted(report["per_cluster"]) == ["C1", "C2"]
+        c1 = report["per_cluster"]["C1"]
+        assert c1["n_servers"] == 2
+        assert c1["observed_slots"] == 300
+        assert c1["cpu_violation_slots"] == 15
+        assert c1["memory_violation_slots"] == 10
+        assert c1["violation_rate"] == sorted(c1["violation_rate"])
+        assert c1["cdf"] == [0.5, 1.0]
+        c2 = report["per_cluster"]["C2"]
+        assert c2["violation_rate"] == pytest.approx([0.01, 0.5])
+
+    def test_rate_is_a_pressure_score_not_a_fraction(self):
+        """A slot violating both resources counts twice (documented): the
+        rate is cpu+mem pressure over observed slots and may exceed 1."""
+        both = ViolationStats.from_counts(
+            {"C1-s000": 10}, {"C1-s000": 10}, {"C1-s000": 10})
+        report = hotspot_report(both)
+        assert report["hotspots"][0]["violation_rate"] == pytest.approx(2.0)
+
+    def test_zero_observed_servers_ok(self):
+        report = hotspot_report(ViolationStats.from_counts({}, {}, {}))
+        assert report["n_servers"] == 0
+        assert report["hotspots"] == []
+        assert report["per_cluster"] == {}
+
+    def test_integration_with_simulation(self, tiny_trace):
+        evaluation = simulate_policy(
+            tiny_trace, COACH_POLICY,
+            SimulationConfig(clusters=tiny_trace.cluster_ids()[:2],
+                             n_estimators=2))
+        report = hotspot_report(evaluation.violations, top_n=3)
+        assert report["n_servers"] == len(
+            evaluation.violations.per_server_observed)
+        total_cpu = sum(c["cpu_violation_slots"]
+                        for c in report["per_cluster"].values())
+        assert total_cpu == evaluation.violations.cpu_violation_slots
+        for row in report["hotspots"]:
+            assert row["server_id"].startswith(row["cluster_id"])

@@ -1,0 +1,446 @@
+"""Columnar trace store: views, filters, persistence, shared memory.
+
+Three contracts are pinned here:
+
+* **Equivalence** -- a store-backed trace exposes the same VMs, in the same
+  order, with byte-identical telemetry as the object trace it came from,
+  and every vectorized filter selects exactly what the seed's Python loop
+  selects.  Replay and characterization on top of it are bitwise identical.
+* **Persistence** -- save -> open round-trips everything (dense and mmap),
+  and the shared-memory export/attach/unlink lifecycle never leaks a
+  segment, including when the attaching worker dies without cleanup.
+* **Validation** -- non-uniform telemetry and duplicate VM ids fail loudly
+  at construction, not silently downstream.
+"""
+
+import os
+from dataclasses import replace
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+import pytest
+
+import repro.simulator.sweep as sweep_module
+from repro.core.policy import COACH_POLICY, NO_OVERSUBSCRIPTION_POLICY
+from repro.core.resources import Resource
+from repro.experiments.figures import figure02_duration
+from repro.simulator import (
+    PolicySweepError,
+    SimulationConfig,
+    simulate_policy,
+    sweep_policies,
+)
+from repro.trace.store import TraceStore
+from repro.trace.timeseries import UtilizationSeries
+from repro.trace.trace import Trace
+from repro.trace.vm import VM_CATALOG, VMRecord
+
+
+def segment_is_gone(name: str) -> bool:
+    try:
+        segment = SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+@pytest.fixture(scope="module")
+def store(tiny_trace):
+    return TraceStore.from_trace(tiny_trace)
+
+
+@pytest.fixture(scope="module")
+def store_trace(store):
+    return store.as_trace()
+
+
+class TestColumnarViews:
+    def test_row_views_match_source_records(self, tiny_trace, store_trace):
+        assert len(store_trace) == len(tiny_trace)
+        for vm, view in zip(tiny_trace.vms, store_trace.vms):
+            assert view.vm_id == vm.vm_id
+            assert view.subscription_id == vm.subscription_id
+            assert view.config == vm.config
+            assert view.cluster_id == vm.cluster_id
+            assert view.start_slot == vm.start_slot
+            assert view.end_slot == vm.end_slot
+            assert view.offering == vm.offering
+            assert view.subscription_type == vm.subscription_type
+            for resource, series in vm.utilization.items():
+                view_series = view.utilization[resource]
+                assert view_series.start_slot == series.start_slot
+                np.testing.assert_array_equal(view_series.values, series.values)
+
+    def test_views_share_the_flat_buffer(self, store, store_trace):
+        """Telemetry is not copied: every series is a slice of the buffer."""
+        for view in store_trace.vms[:20]:
+            for resource, series in view.utilization.items():
+                assert series.values.base is store.util[resource]
+
+    def test_from_trace_preserves_dtype_by_default(self, store):
+        assert store.util_dtype == np.dtype(np.float64)
+
+    def test_float32_dtype_option(self, tiny_trace):
+        compact = TraceStore.from_trace(tiny_trace, util_dtype=np.float32)
+        assert compact.util_dtype == np.dtype(np.float32)
+        assert compact.util_nbytes * 2 == TraceStore.from_trace(tiny_trace).util_nbytes
+
+    def test_offsets_are_canonical(self, store):
+        offsets = store.offsets
+        assert offsets.shape == (len(store) + 1,)
+        assert offsets[0] == 0
+        np.testing.assert_array_equal(np.diff(offsets), store.row_length)
+        for buffer in store.util.values():
+            assert buffer.size == offsets[-1]
+
+    def test_non_uniform_resource_set_rejected(self, tiny_trace):
+        vms = [tiny_trace.vms[0], tiny_trace.vms[1]]
+        stripped = VMRecord(
+            vm_id="stripped", subscription_id="s", config=vms[0].config,
+            cluster_id=vms[0].cluster_id, start_slot=vms[0].start_slot,
+            end_slot=vms[0].end_slot,
+            utilization={Resource.CPU: vms[0].utilization[Resource.CPU]})
+        broken = Trace(vms=vms + [stripped], fleet=tiny_trace.fleet,
+                       n_slots=tiny_trace.n_slots)
+        with pytest.raises(ValueError, match="uniform resource set"):
+            TraceStore.from_trace(broken)
+
+    def test_unequal_series_coverage_rejected(self, tiny_trace):
+        source = tiny_trace.vms[0]
+        utilization = dict(source.utilization)
+        cpu = utilization[Resource.CPU]
+        utilization[Resource.MEMORY] = UtilizationSeries(
+            cpu.values[:-1] if len(cpu) > 1 else cpu.values, cpu.start_slot + 1)
+        lopsided = VMRecord(
+            vm_id="lopsided", subscription_id="s", config=source.config,
+            cluster_id=source.cluster_id, start_slot=source.start_slot,
+            end_slot=source.end_slot, utilization=utilization)
+        broken = Trace(vms=[lopsided], fleet=tiny_trace.fleet,
+                       n_slots=tiny_trace.n_slots)
+        with pytest.raises(ValueError, match="equal coverage"):
+            TraceStore.from_trace(broken)
+
+    def test_duplicate_ids_rejected(self, tiny_trace):
+        store = TraceStore.from_trace(tiny_trace)
+        store.vm_ids[1] = store.vm_ids[0]
+        with pytest.raises(ValueError, match="duplicate VM id"):
+            TraceStore.from_trace(store.as_trace())
+
+
+class TestVectorizedFilters:
+    def test_alive_at_matches_object_loop(self, tiny_trace, store_trace):
+        for slot in (0, 100, tiny_trace.n_slots // 2, tiny_trace.n_slots - 1):
+            expected = [vm.vm_id for vm in tiny_trace.alive_at(slot)]
+            assert [vm.vm_id for vm in store_trace.alive_at(slot)] == expected
+
+    def test_alive_at_returns_the_trace_own_records(self, store_trace):
+        vm = store_trace.vms[0]
+        mid = (vm.start_slot + vm.end_slot) // 2
+        assert any(found is vm for found in store_trace.alive_at(mid))
+
+    def test_arriving_in_matches_object_loop(self, tiny_trace, store_trace):
+        windows = [(0, 1), (100, 500), (0, tiny_trace.n_slots)]
+        for start, end in windows:
+            expected = [vm.vm_id for vm in tiny_trace.arriving_in(start, end)]
+            assert [vm.vm_id
+                    for vm in store_trace.arriving_in(start, end)] == expected
+
+    def test_long_running_matches_object_loop(self, tiny_trace, store_trace):
+        for min_days in (0.5, 1.0, 3.0):
+            expected = [vm.vm_id for vm in tiny_trace.long_running(min_days)]
+            selected = store_trace.long_running(min_days)
+            assert [vm.vm_id for vm in selected] == expected
+            # The selection stays store-backed, so the next filter is
+            # vectorized too.
+            assert selected.store is not None
+
+    def test_in_cluster_matches_object_loop(self, tiny_trace, store_trace):
+        for cluster_id in tiny_trace.cluster_ids():
+            expected = [vm.vm_id for vm in tiny_trace.in_cluster(cluster_id)]
+            assert [vm.vm_id
+                    for vm in store_trace.in_cluster(cluster_id)] == expected
+
+    def test_in_cluster_unknown_id_is_empty(self, store_trace):
+        assert len(store_trace.in_cluster("no-such-cluster")) == 0
+
+    def test_split_at_matches_object_loop(self, tiny_trace, store_trace):
+        split = tiny_trace.n_slots // 3
+        before_obj, after_obj = tiny_trace.split_at(split)
+        before, after = store_trace.split_at(split)
+        assert [vm.vm_id for vm in before] == [vm.vm_id for vm in before_obj]
+        assert [vm.vm_id for vm in after] == [vm.vm_id for vm in after_obj]
+
+    def test_generic_filter_matches_and_keeps_store(self, tiny_trace, store_trace):
+        predicate = lambda vm: vm.config.cores >= 4
+        expected = [vm.vm_id for vm in tiny_trace.filter(predicate)]
+        filtered = store_trace.filter(predicate)
+        assert [vm.vm_id for vm in filtered] == expected
+        assert filtered.store is not None
+        # ... and the selection's telemetry still views the parent buffer.
+        if len(filtered):
+            series = filtered.vms[0].utilization[Resource.CPU]
+            assert series.values.base is store_trace.store.util[Resource.CPU]
+
+    def test_vm_by_id_o1_index(self, tiny_trace, store_trace):
+        vm = tiny_trace.vms[len(tiny_trace.vms) // 2]
+        assert store_trace.vm_by_id(vm.vm_id).vm_id == vm.vm_id
+        with pytest.raises(KeyError):
+            store_trace.vm_by_id("vm-does-not-exist")
+
+    def test_duplicate_id_rejected_at_trace_construction(self, tiny_trace):
+        vm = tiny_trace.vms[0]
+        with pytest.raises(ValueError, match="duplicate VM id"):
+            Trace(vms=[vm, vm], fleet=tiny_trace.fleet,
+                  n_slots=tiny_trace.n_slots)
+
+
+class TestDifferential:
+    """Store-backed results pinned bitwise against the object-based path."""
+
+    def test_replay_bitwise_identical(self, tiny_trace, store_trace):
+        config = SimulationConfig(clusters=tiny_trace.cluster_ids()[:2],
+                                  n_estimators=2)
+        reference = simulate_policy(tiny_trace, COACH_POLICY, config)
+        columnar = simulate_policy(store_trace, COACH_POLICY, config)
+        assert columnar == reference
+
+    def test_characterization_bitwise_identical(self, tiny_trace, store_trace):
+        assert store_trace.summary() == tiny_trace.summary()
+        assert (store_trace.total_resource_hours(Resource.CPU)
+                == tiny_trace.total_resource_hours(Resource.CPU))
+        assert figure02_duration(store_trace) == figure02_duration(tiny_trace)
+
+    def test_mmap_replay_bitwise_identical(self, tiny_trace, store, tmp_path):
+        config = SimulationConfig(clusters=tiny_trace.cluster_ids()[:2],
+                                  n_estimators=2)
+        reference = simulate_policy(tiny_trace, COACH_POLICY, config)
+        store.save(tmp_path / "store")
+        mapped = TraceStore.open(tmp_path / "store", mmap=True)
+        streamed = simulate_policy(
+            mapped.as_trace(), COACH_POLICY,
+            replace(config, replay_chunk_slots=113))
+        assert streamed == reference
+
+
+class TestPersistence:
+    def test_save_open_round_trip(self, tiny_trace, store, tmp_path):
+        store.save(tmp_path / "store")
+        loaded = TraceStore.open(tmp_path / "store")
+        self._assert_stores_equal(loaded, store)
+        reloaded = loaded.as_trace()
+        assert [vm.vm_id for vm in reloaded] == [vm.vm_id for vm in tiny_trace]
+        assert reloaded.fleet.cluster_ids() == tiny_trace.fleet.cluster_ids()
+        assert reloaded.subscriptions == tiny_trace.subscriptions
+        sample = reloaded.vms[0]
+        source = tiny_trace.vms[0]
+        assert sample.config == source.config
+        assert sample.offering == source.offering
+        assert sample.subscription_type == source.subscription_type
+
+    def test_open_mmap_is_lazy_and_equal(self, store, tmp_path):
+        store.save(tmp_path / "store")
+        mapped = TraceStore.open(tmp_path / "store", mmap=True)
+        for resource, buffer in mapped.util.items():
+            assert isinstance(buffer, np.memmap)
+            np.testing.assert_array_equal(np.asarray(buffer),
+                                          store.util[resource])
+
+    def test_float32_round_trip_preserves_dtype(self, tiny_trace, tmp_path):
+        compact = TraceStore.from_trace(tiny_trace, util_dtype=np.float32)
+        compact.save(tmp_path / "store32")
+        loaded = TraceStore.open(tmp_path / "store32")
+        assert loaded.util_dtype == np.dtype(np.float32)
+        for resource, buffer in loaded.util.items():
+            np.testing.assert_array_equal(buffer, compact.util[resource])
+
+    def test_selection_save_compacts(self, store_trace, tmp_path):
+        selection = store_trace.long_running()
+        selection.store.save(tmp_path / "selection")
+        loaded = TraceStore.open(tmp_path / "selection")
+        assert len(loaded) == len(selection)
+        reloaded = loaded.as_trace()
+        for vm, view in zip(selection.vms, reloaded.vms):
+            assert vm.vm_id == view.vm_id
+            np.testing.assert_array_equal(
+                view.utilization[Resource.CPU].values,
+                vm.utilization[Resource.CPU].values)
+
+    def test_unknown_format_version_rejected(self, store, tmp_path):
+        store.save(tmp_path / "store")
+        meta = (tmp_path / "store" / "meta.json")
+        meta.write_text(meta.read_text().replace(
+            '"format_version": 1', '"format_version": 99'))
+        with pytest.raises(ValueError, match="format version"):
+            TraceStore.open(tmp_path / "store")
+
+    def test_reordered_enum_tables_rejected(self, store, tmp_path):
+        """A store written with different enum code tables must not be
+        silently re-labelled through the current ones."""
+        store.save(tmp_path / "store")
+        meta = (tmp_path / "store" / "meta.json")
+        meta.write_text(meta.read_text().replace('"iaas"', '"serverless"', 1))
+        with pytest.raises(ValueError, match="offering_values"):
+            TraceStore.open(tmp_path / "store")
+
+    @staticmethod
+    def _assert_stores_equal(loaded: TraceStore, original: TraceStore) -> None:
+        assert len(loaded) == len(original)
+        assert loaded.n_slots == original.n_slots
+        assert loaded.cluster_ids == original.cluster_ids
+        assert loaded.configs == original.configs
+        np.testing.assert_array_equal(loaded.start_slot, original.start_slot)
+        np.testing.assert_array_equal(loaded.end_slot, original.end_slot)
+        np.testing.assert_array_equal(loaded.offsets, original.offsets)
+        assert loaded.vm_ids.tolist() == original.vm_ids.tolist()
+        assert loaded.server_ids.tolist() == original.server_ids.tolist()
+        for resource, buffer in original.util.items():
+            np.testing.assert_array_equal(loaded.util[resource], buffer)
+
+
+def _attach_and_crash(handle) -> None:
+    """Child entry point: attach the shared store, then die uncleanly."""
+    attached = handle.attach()
+    assert attached.util_nbytes > 0
+    os._exit(1)
+
+
+class TestSharedMemory:
+    def test_export_attach_round_trip(self, store):
+        handle = store.export_shared()
+        try:
+            attached = handle.attach()
+            for resource, buffer in store.util.items():
+                np.testing.assert_array_equal(
+                    np.asarray(attached.util[resource]), buffer)
+            trace = attached.as_trace()
+            assert len(trace) == len(store)
+            attached.close_shared()
+        finally:
+            handle.unlink()
+        assert all(segment_is_gone(name) for name in handle.segment_names)
+
+    def test_unlink_is_idempotent(self, store):
+        handle = store.export_shared()
+        handle.unlink()
+        handle.unlink()
+        assert all(segment_is_gone(name) for name in handle.segment_names)
+
+    def test_worker_crash_does_not_leak_segments(self, store):
+        """A worker dying mid-attach must not leak: the exporting process
+        owns the segments and its unlink is the single cleanup point."""
+        handle = store.export_shared()
+        try:
+            worker = get_context("spawn").Process(
+                target=_attach_and_crash, args=(handle,))
+            worker.start()
+            worker.join(timeout=60)
+            assert worker.exitcode == 1
+        finally:
+            handle.unlink()
+        assert all(segment_is_gone(name) for name in handle.segment_names)
+
+
+class TestSweepTransports:
+    @pytest.fixture(scope="class")
+    def sweep_config(self, tiny_trace):
+        return SimulationConfig(clusters=tiny_trace.cluster_ids()[:2],
+                                n_estimators=2)
+
+    def test_transports_bitwise_identical(self, tiny_trace, store_trace,
+                                          sweep_config):
+        policies = {"coach": COACH_POLICY}
+        serial = sweep_policies(tiny_trace, policies, sweep_config)
+        shared = sweep_policies(
+            store_trace, policies,
+            replace(sweep_config, sweep_parallelism=2,
+                    sweep_trace_transport="shared"))
+        pickled = sweep_policies(
+            tiny_trace, policies,
+            replace(sweep_config, sweep_parallelism=2,
+                    sweep_trace_transport="pickle"))
+        assert serial == shared == pickled
+
+    def test_unknown_transport_fails_fast(self, tiny_trace, sweep_config):
+        with pytest.raises(ValueError, match="sweep trace transport"):
+            sweep_policies(tiny_trace, {"coach": COACH_POLICY},
+                           replace(sweep_config, sweep_parallelism=2,
+                                   sweep_trace_transport="carrier-pigeon"))
+
+    def test_failing_policy_unlinks_segments(self, store_trace, sweep_config,
+                                             monkeypatch):
+        """PolicySweepError paths must still unlink the exported segments."""
+        captured = {}
+        original = sweep_module._export_shared_trace
+
+        def spy(trace, config):
+            handle = original(trace, config)
+            captured["names"] = handle.segment_names if handle else []
+            return handle
+
+        monkeypatch.setattr(sweep_module, "_export_shared_trace", spy)
+        broken = COACH_POLICY.with_percentile(-5.0)
+        with pytest.raises(PolicySweepError):
+            sweep_policies(store_trace,
+                           {"broken": broken, "coach": COACH_POLICY},
+                           replace(sweep_config, sweep_parallelism=2,
+                                   sweep_trace_transport="shared"))
+        assert captured["names"], "the shared transport should have exported"
+        assert all(segment_is_gone(name) for name in captured["names"])
+
+    def test_successful_sweep_unlinks_segments(self, store_trace, sweep_config,
+                                               monkeypatch):
+        captured = {}
+        original = sweep_module._export_shared_trace
+
+        def spy(trace, config):
+            handle = original(trace, config)
+            captured["names"] = handle.segment_names if handle else []
+            return handle
+
+        monkeypatch.setattr(sweep_module, "_export_shared_trace", spy)
+        results = sweep_policies(
+            store_trace,
+            {"none": NO_OVERSUBSCRIPTION_POLICY, "coach": COACH_POLICY},
+            replace(sweep_config, sweep_parallelism=2))
+        assert set(results) == {"none", "coach"}
+        assert captured["names"], "auto transport should share a store-backed trace"
+        assert all(segment_is_gone(name) for name in captured["names"])
+
+
+class TestMiscStore:
+    def test_alloc_matrix_matches_configs(self, tiny_trace, store):
+        alloc = store.alloc
+        for i, vm in enumerate(tiny_trace.vms[:10]):
+            assert alloc[i, 0] == vm.allocated(Resource.CPU)
+            assert alloc[i, 1] == vm.allocated(Resource.MEMORY)
+
+    def test_index_of_matches_order(self, store):
+        for i in (0, len(store) // 2, len(store) - 1):
+            assert store.index_of(store.vm_ids[i]) == i
+        with pytest.raises(KeyError):
+            store.index_of("nope")
+
+    def test_select_rejects_repeated_indices(self, store):
+        with pytest.raises(ValueError, match="unique"):
+            store.select([0, 0])
+
+    def test_select_accepts_boolean_mask(self, store):
+        mask = store.long_running_mask()
+        selected = store.select(mask)
+        assert len(selected) == int(mask.sum())
+        assert (selected.vm_ids.tolist()
+                == store.vm_ids[np.nonzero(mask)[0]].tolist())
+        with pytest.raises(ValueError, match="mask has shape"):
+            store.select(mask[:-1])
+
+    def test_empty_selection_round_trips(self, store_trace):
+        empty = store_trace.filter(lambda vm: False)
+        assert len(empty) == 0
+        assert empty.store is not None
+        assert len(empty.alive_at(0)) == 0
+
+    def test_catalog_configs_deduplicated(self, store):
+        assert len(store.configs) <= len(VM_CATALOG)
+        assert len(set(store.configs)) == len(store.configs)
