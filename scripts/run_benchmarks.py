@@ -54,6 +54,7 @@ from repro.simulator.replay import VectorizedViolationMeter
 # diverge.
 from repro.simulator.benchmarking import (
     bench_smoke_enabled,
+    measure_characterization_throughput,
     measure_mmap_bounded_replay,
     measure_replay_memory,
     measure_sweep_serial_vs_pool,
@@ -137,6 +138,12 @@ def measure_trace_store(smoke: bool) -> dict:
     return outcome
 
 
+def measure_characterization(smoke: bool) -> dict:
+    """Section-2 suite wall-clock: columnar kernels vs the per-VM reference."""
+    trace = generate_sweep_bench_trace(smoke=smoke, columnar=True)
+    return measure_characterization_throughput(trace)
+
+
 def git_revision() -> str:
     command = ["git", "rev-parse", "--short", "HEAD"]
     try:
@@ -181,6 +188,10 @@ def print_summary(record: dict) -> None:
     buffer_mb = mmap_replay["buffer_nbytes"] / 1e6
     print(f"  mmap       peak {mmap_mb:.1f} MB (budget {budget_mb:.1f} MB", end="")
     print(f", buffer {buffer_mb:.1f} MB, {mmap_replay['peak_reduction']:.1f}x vs in-RAM)")
+    characterization = record["characterization"]
+    print(f"  character. columnar {characterization['columnar_seconds']:.2f}s"
+          f" vs reference {characterization['reference_seconds']:.2f}s", end="")
+    print(f"  ({characterization['speedup']:.1f}x, bitwise identical)")
 
 
 def main(argv: list | None = None) -> int:
@@ -211,6 +222,7 @@ def main(argv: list | None = None) -> int:
         "sweep": measure_sweep(smoke),
         "chunked_replay": measure_chunked_replay(smoke),
         "trace_store": measure_trace_store(smoke),
+        "characterization": measure_characterization(smoke),
     }
     print_summary(record)
 

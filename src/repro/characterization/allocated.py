@@ -6,6 +6,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.characterization import columnar
 from repro.core.resources import Resource
 from repro.trace.trace import Trace
 
@@ -23,9 +24,13 @@ def resource_hours_by_duration(trace: Trace,
                                ) -> Dict[str, List[float]]:
     """Figure 2: share of resource-hours and of VMs from VMs lasting longer
     than each duration threshold."""
-    durations = np.array([vm.lifetime_hours for vm in trace.vms])
-    cpu_hours = np.array([vm.resource_hours(Resource.CPU) for vm in trace.vms])
-    mem_hours = np.array([vm.resource_hours(Resource.MEMORY) for vm in trace.vms])
+    columns = columnar.duration_columns(trace)
+    if columns is not None:
+        durations, cpu_hours, mem_hours = columns
+    else:
+        durations = np.array([vm.lifetime_hours for vm in trace.vms])
+        cpu_hours = np.array([vm.resource_hours(Resource.CPU) for vm in trace.vms])
+        mem_hours = np.array([vm.resource_hours(Resource.MEMORY) for vm in trace.vms])
     total_cpu = max(cpu_hours.sum(), 1e-9)
     total_mem = max(mem_hours.sum(), 1e-9)
     n_vms = max(len(trace.vms), 1)
@@ -47,10 +52,14 @@ def resource_hours_by_size(trace: Trace,
                            ) -> Dict[str, Dict[str, List[float]]]:
     """Figure 3: share of resource-hours and of VMs from VMs at least as large
     as each size threshold (cores on the left, memory on the right)."""
-    cores = np.array([vm.config.cores for vm in trace.vms])
-    memory = np.array([vm.config.memory_gb for vm in trace.vms])
-    cpu_hours = np.array([vm.resource_hours(Resource.CPU) for vm in trace.vms])
-    mem_hours = np.array([vm.resource_hours(Resource.MEMORY) for vm in trace.vms])
+    columns = columnar.size_columns(trace)
+    if columns is not None:
+        cores, memory, cpu_hours, mem_hours = columns
+    else:
+        cores = np.array([vm.config.cores for vm in trace.vms])
+        memory = np.array([vm.config.memory_gb for vm in trace.vms])
+        cpu_hours = np.array([vm.resource_hours(Resource.CPU) for vm in trace.vms])
+        mem_hours = np.array([vm.resource_hours(Resource.MEMORY) for vm in trace.vms])
     total_cpu = max(cpu_hours.sum(), 1e-9)
     total_mem = max(mem_hours.sum(), 1e-9)
     n_vms = max(len(trace.vms), 1)
@@ -74,6 +83,9 @@ def resource_hours_by_size(trace: Trace,
 
 def median_vm_shape(trace: Trace) -> Dict[str, float]:
     """Median VM size statistics quoted in Section 2.1."""
+    result = columnar.maybe_median_vm_shape(trace)
+    if result is not None:
+        return result
     cores = sorted(vm.config.cores for vm in trace.vms)
     memory = sorted(vm.config.memory_gb for vm in trace.vms)
     mid = len(cores) // 2

@@ -13,6 +13,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.characterization import columnar
 from repro.core.resources import Resource
 from repro.trace.timeseries import SLOTS_PER_DAY
 from repro.trace.trace import Trace
@@ -32,6 +33,65 @@ def _group_key(vm: VMRecord, grouping: str) -> Tuple[str, ...]:
     raise ValueError(f"unknown grouping {grouping!r}; expected one of {GROUPINGS}")
 
 
+def _column_keys(subscriptions: np.ndarray, config_names: np.ndarray,
+                 grouping: str) -> List[Tuple[str, ...]]:
+    """Per-row group keys from the store's metadata columns."""
+    if grouping == "subscription":
+        return [(sid,) for sid in subscriptions]
+    if grouping == "configuration":
+        return [(name,) for name in config_names]
+    if grouping == "subscription+configuration":
+        return list(zip(subscriptions, config_names))
+    raise ValueError(f"unknown grouping {grouping!r}; expected one of {GROUPINGS}")
+
+
+def _columnar_detail(history_store, history_peaks: np.ndarray, future_store,
+                     future_peaks: np.ndarray) -> Dict[str, Dict[str, List[float]]]:
+    """The grouping statistics over columnar feature extraction.
+
+    The telemetry-heavy step (per-VM peak utilization) arrives precomputed
+    as one segment-max column per side; what remains is metadata grouping.
+    Each group's range/mean is computed once instead of once per matching
+    future VM, which changes nothing numerically (same array every time).
+    """
+    history_columns = (history_store.subscription_ids,
+                       history_store.config_names())
+    future_columns = (future_store.subscription_ids, future_store.config_names())
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for grouping in GROUPINGS:
+        groups: Dict[Tuple[str, ...], List[float]] = {}
+        for key, peak in zip(_column_keys(*history_columns, grouping),
+                             history_peaks):
+            groups.setdefault(key, []).append(float(peak))
+        group_stats: Dict[Tuple[str, ...], Tuple[float, float, float]] = {}
+        for key, peaks in groups.items():
+            arr = np.asarray(peaks)
+            group_stats[key] = (float(len(peaks)),
+                                100.0 * float(arr.max() - arr.min()),
+                                float(arr.mean()))
+        match_counts: List[float] = []
+        ranges: List[float] = []
+        errors: List[float] = []
+        for key, peak in zip(_column_keys(*future_columns, grouping),
+                             future_peaks):
+            stats = group_stats.get(key)
+            if stats is None:
+                match_counts.append(0.0)
+                ranges.append(100.0)
+                errors.append(100.0)
+            else:
+                count, peak_range, mean = stats
+                match_counts.append(count)
+                ranges.append(peak_range)
+                errors.append(100.0 * abs(float(peak) - mean))
+        results[grouping] = {
+            "matching_vms": match_counts,
+            "peak_range_pct": ranges,
+            "prediction_error_pct": errors,
+        }
+    return results
+
+
 def group_predictability(trace: Trace, resource: Resource = Resource.MEMORY,
                          split_slot: int | None = None,
                          min_lifetime_days: float = 0.25
@@ -44,6 +104,10 @@ def group_predictability(trace: Trace, resource: Resource = Resource.MEMORY,
     the VM's actual peak and the group's mean peak.
     """
     split = split_slot if split_slot is not None else 7 * SLOTS_PER_DAY
+    features = columnar.maybe_predictability_features(trace, resource, split,
+                                                      min_lifetime_days)
+    if features is not None:
+        return _columnar_detail(*features)
     history, future = trace.split_at(split)
     history_vms = [vm for vm in history.vms
                    if vm.lifetime_days >= min_lifetime_days and vm.has_utilization()]

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.characterization import columnar
 from repro.core.resources import Resource
 from repro.trace.timeseries import SLOTS_PER_DAY, SWEEP_WINDOW_HOURS, TimeWindowConfig
 from repro.trace.trace import Trace
@@ -48,6 +49,10 @@ def cluster_savings(trace: Trace, cluster_id: Optional[str] = None,
     e.g. ``"4x6hr"`` or ``"ideal"`` and values are percentages of allocated
     resources saved, averaged across VMs.
     """
+    result = columnar.maybe_cluster_savings(trace, cluster_id, window_hours_sweep,
+                                            include_ideal, min_days)
+    if result is not None:
+        return result
     vms = trace.long_running(min_days).vms
     if cluster_id is not None:
         vms = [vm for vm in vms if vm.cluster_id == cluster_id]
@@ -74,6 +79,10 @@ def weekly_savings_profile(trace: Trace, cluster_id: Optional[str] = None,
 
     Returns ``{label: {"cpu": [pct per day], "memory": [...]}}``.
     """
+    result = columnar.maybe_weekly_savings_profile(trace, cluster_id,
+                                                   window_hours_sweep, min_days)
+    if result is not None:
+        return result
     vms = trace.long_running(min_days).vms
     if cluster_id is not None:
         vms = [vm for vm in vms if vm.cluster_id == cluster_id]

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.characterization import columnar
 from repro.core.resources import ALL_RESOURCES, Resource
 from repro.trace.timeseries import SLOTS_PER_DAY
 from repro.trace.trace import Trace
@@ -76,6 +77,12 @@ def measure_stranding(trace: Trace, scenario: str = "no-oversub",
     oversub = _oversubscribable(scenario)
     cluster_ids = list(clusters) if clusters else trace.cluster_ids()
     slots = range(0, trace.n_slots, max(1, sample_every_slots))
+    # Store-backed traces evaluate every cluster's per-slot free vector and
+    # bottleneck in a handful of array passes; the totals below still
+    # accumulate slot by slot in the seed loop's order, so the sequential
+    # float additions (and every reported fraction) stay bitwise identical.
+    columnar_inputs = columnar.maybe_stranding_inputs(
+        trace, oversub, fill_vm, sample_every_slots, cluster_ids)
 
     stranded_totals = {r: 0.0 for r in ALL_RESOURCES}
     capacity_totals = {r: 0.0 for r in ALL_RESOURCES}
@@ -88,27 +95,39 @@ def measure_stranding(trace: Trace, scenario: str = "no-oversub",
         capacity = cluster.total_capacity()
         cluster_counts = {r: 0 for r in ALL_RESOURCES}
         cluster_samples = 0
-        cluster_vms = [vm for vm in trace.vms if vm.cluster_id == cluster_id]
 
-        for slot in slots:
-            alive = [vm for vm in cluster_vms if vm.alive_at(slot)]
-            used = {r: 0.0 for r in ALL_RESOURCES}
-            for vm in alive:
+        if columnar_inputs is not None:
+            free_matrix, bottleneck_index = columnar_inputs[cluster_id]
+            for j, _slot in enumerate(slots):
+                bottleneck = ALL_RESOURCES[bottleneck_index[j]]
+                samples += 1
+                cluster_samples += 1
+                bottleneck_counts[bottleneck] += 1
+                cluster_counts[bottleneck] += 1
+                for r_index, resource in enumerate(ALL_RESOURCES):
+                    stranded_totals[resource] += float(free_matrix[r_index, j])
+                    capacity_totals[resource] += capacity[resource]
+        else:
+            cluster_vms = [vm for vm in trace.vms if vm.cluster_id == cluster_id]
+            for slot in slots:
+                alive = [vm for vm in cluster_vms if vm.alive_at(slot)]
+                used = {r: 0.0 for r in ALL_RESOURCES}
+                for vm in alive:
+                    for resource in ALL_RESOURCES:
+                        if oversub[resource]:
+                            used[resource] += vm.demand_at(resource, slot)
+                        else:
+                            used[resource] += vm.allocated(resource)
+                free = {r: max(0.0, capacity[r] - used[r]) for r in ALL_RESOURCES}
+                bottleneck = _fill_server(free, fill_vm)
+
+                samples += 1
+                cluster_samples += 1
+                bottleneck_counts[bottleneck] += 1
+                cluster_counts[bottleneck] += 1
                 for resource in ALL_RESOURCES:
-                    if oversub[resource]:
-                        used[resource] += vm.demand_at(resource, slot)
-                    else:
-                        used[resource] += vm.allocated(resource)
-            free = {r: max(0.0, capacity[r] - used[r]) for r in ALL_RESOURCES}
-            bottleneck = _fill_server(free, fill_vm)
-
-            samples += 1
-            cluster_samples += 1
-            bottleneck_counts[bottleneck] += 1
-            cluster_counts[bottleneck] += 1
-            for resource in ALL_RESOURCES:
-                stranded_totals[resource] += free[resource]
-                capacity_totals[resource] += capacity[resource]
+                    stranded_totals[resource] += free[resource]
+                    capacity_totals[resource] += capacity[resource]
 
         per_cluster_counts[cluster_id] = {
             r: (cluster_counts[r] / cluster_samples if cluster_samples else 0.0)

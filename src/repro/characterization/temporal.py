@@ -6,6 +6,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.characterization import columnar
 from repro.core.resources import Resource
 from repro.trace.timeseries import SWEEP_WINDOW_HOURS, TimeWindowConfig
 from repro.trace.trace import Trace
@@ -14,11 +15,18 @@ from repro.trace.vm import VMRecord
 
 def vm_week_profile(vm: VMRecord, resource: Resource = Resource.CPU,
                     window_hours: int = 8) -> Dict[str, np.ndarray]:
-    """Figure 7: a VM's utilization with per-window current and lifetime maxima."""
+    """Figure 7: a VM's utilization with per-window current and lifetime maxima.
+
+    The raw utilization comes back as a read-only view: for store-backed VMs
+    ``series.values`` is already a zero-copy slice of the shared telemetry
+    buffer, and copying it per figure would defeat that layout.
+    """
     config = TimeWindowConfig(window_hours)
     series = vm.series(resource)
+    utilization = series.values.view()
+    utilization.flags.writeable = False
     return {
-        "utilization": series.values.copy(),
+        "utilization": utilization,
         "current_window_max": series.window_max_per_day(config),
         "lifetime_window_max": series.lifetime_window_max(config),
     }
@@ -34,6 +42,10 @@ def peaks_and_valleys_by_window(trace: Trace, resource: Resource = Resource.CPU,
     normalised by the number of VM-days with a peak (valley) on that weekday,
     as the paper does.
     """
+    result = columnar.maybe_peaks_and_valleys(trace, resource, window_hours,
+                                              min_days, threshold)
+    if result is not None:
+        return result
     config = TimeWindowConfig(window_hours)
     peak_counts = np.zeros((7, config.windows_per_day))
     valley_counts = np.zeros((7, config.windows_per_day))
@@ -76,6 +88,11 @@ def peak_consistency_cdf(trace: Trace, resource: Resource = Resource.CPU,
     samples whose absolute difference is at most each grid value.
     """
     grid = list(diff_grid) if diff_grid is not None else [x / 100 for x in range(0, 55, 5)]
+    result = columnar.maybe_peak_consistency_cdf(trace, resource,
+                                                 window_hours_sweep, min_days,
+                                                 grid)
+    if result is not None:
+        return result
     results: Dict[int, Dict[str, List[float]]] = {}
     vms = trace.long_running(min_days).vms
     for window_hours in window_hours_sweep:

@@ -11,6 +11,7 @@ for the same one.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import time
@@ -18,6 +19,8 @@ import tracemalloc
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Iterable, Optional
+
+import numpy as np
 
 from repro.core.policy import COACH_POLICY
 from repro.core.scheduler import ServerAccount
@@ -132,6 +135,144 @@ def measure_replay_memory(servers: Iterable[ServerAccount],
         "chunked_peak_bytes": chunked_peak,
         "chunked_seconds": chunked_seconds,
         "peak_reduction": dense_peak / max(1, chunked_peak),
+    }
+
+
+def assert_results_identical(reference: object, candidate: object, *,
+                             rtol: float = 0.0, path: str = "result") -> None:
+    """Structural equality of two characterization/figure results.
+
+    Walks dataclasses, dicts, sequences and arrays side by side.  With the
+    default ``rtol=0`` every float must match *bitwise* (NaNs compare equal
+    positionally) -- the differential contract of the columnar layer; a
+    nonzero ``rtol`` relaxes floats to ``np.isclose`` for reduced-precision
+    (float32) stores.  Raises ``AssertionError`` naming the first diverging
+    path.
+    """
+    if dataclasses.is_dataclass(reference) and not isinstance(reference, type):
+        assert type(reference) is type(candidate), \
+            f"{path}: {type(reference)} vs {type(candidate)}"
+        for field in dataclasses.fields(reference):
+            assert_results_identical(getattr(reference, field.name),
+                                     getattr(candidate, field.name),
+                                     rtol=rtol, path=f"{path}.{field.name}")
+        return
+    if isinstance(reference, dict):
+        assert set(reference) == set(candidate), \
+            f"{path}: key mismatch {set(reference) ^ set(candidate)}"
+        for key in reference:
+            assert_results_identical(reference[key], candidate[key],
+                                     rtol=rtol, path=f"{path}[{key!r}]")
+        return
+    if isinstance(reference, np.ndarray) or isinstance(candidate, np.ndarray):
+        left = np.asarray(reference)
+        right = np.asarray(candidate)
+        assert left.shape == right.shape, \
+            f"{path}: shape {left.shape} vs {right.shape}"
+        if rtol and left.dtype.kind == "f":
+            matches = np.isclose(left, right, rtol=rtol, equal_nan=True)
+        else:
+            matches = (left == right) | (_isnan(left) & _isnan(right))
+        assert matches.all(), f"{path}: arrays diverge ({left} vs {right})"
+        return
+    if isinstance(reference, (list, tuple)):
+        assert len(reference) == len(candidate), \
+            f"{path}: length {len(reference)} vs {len(candidate)}"
+        for i, (left, right) in enumerate(zip(reference, candidate)):
+            assert_results_identical(left, right, rtol=rtol, path=f"{path}[{i}]")
+        return
+    if rtol and isinstance(reference, float):
+        assert np.isclose(reference, candidate, rtol=rtol, equal_nan=True), \
+            f"{path}: {reference!r} vs {candidate!r}"
+        return
+    assert reference == candidate or (reference != reference
+                                      and candidate != candidate), \
+        f"{path}: {reference!r} vs {candidate!r}"
+
+
+def _isnan(values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind == "f":
+        return np.isnan(values)
+    return np.zeros(values.shape, dtype=bool)
+
+
+def run_characterization_suite(trace: Trace) -> Dict[str, object]:
+    """The Section-2 statistic suite timed by the characterization benchmark.
+
+    One call per rewired statistic family (Figures 2-12), with the window
+    sweeps trimmed to representative lengths so the reference pass stays
+    benchmarkable.  Both the pytest benchmark and
+    ``scripts/run_benchmarks.py`` time exactly this function, once over the
+    columnar dispatch and once over the per-VM reference, so the tracked
+    speedup cannot drift between the two.
+    """
+    # Imported here (not module level): characterization sits above the
+    # simulator in the layering, and only this harness needs it.
+    from repro.characterization import (
+        cluster_savings,
+        group_predictability,
+        median_vm_shape,
+        peak_consistency_cdf,
+        peaks_and_valleys_by_window,
+        resource_hours_by_duration,
+        resource_hours_by_size,
+        stranding_by_scenario,
+        utilization_scatter,
+        utilization_summary,
+        weekly_savings_profile,
+    )
+    from repro.trace.timeseries import SLOTS_PER_DAY
+
+    return {
+        "duration": resource_hours_by_duration(trace),
+        "size": resource_hours_by_size(trace),
+        "shape": median_vm_shape(trace),
+        "scatter": utilization_scatter(trace),
+        "summary": utilization_summary(trace),
+        "peaks": peaks_and_valleys_by_window(trace),
+        "consistency": peak_consistency_cdf(trace, window_hours_sweep=[1, 4, 24]),
+        "savings": cluster_savings(trace, window_hours_sweep=[24, 4, 1]),
+        "weekly": weekly_savings_profile(trace, window_hours_sweep=[4]),
+        "stranding": stranding_by_scenario(
+            trace, sample_every_slots=SLOTS_PER_DAY // 2),
+        "predictability": group_predictability(trace),
+    }
+
+
+def measure_characterization_throughput(trace: Trace) -> Dict[str, object]:
+    """Wall-clock of the Section-2 suite: columnar vs per-VM reference.
+
+    *trace* must be store-backed; the reference pass runs the same suite on
+    ``trace.without_store()`` -- the identical VM views minus the columnar
+    dispatch, i.e. the seed per-VM loops reading the same buffers.  Raises
+    ``AssertionError`` if any statistic diverges bitwise (float64 stores
+    carry the exactness contract).  One warm-up pass per side keeps
+    first-call numpy setup out of the timings.
+    """
+    if trace.store is None:
+        trace = TraceStore.from_trace(trace).as_trace()
+    reference_trace = trace.without_store()
+
+    run_characterization_suite(trace)
+    run_characterization_suite(reference_trace)
+
+    begin = time.perf_counter()
+    columnar_results = run_characterization_suite(trace)
+    columnar_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    reference_results = run_characterization_suite(reference_trace)
+    reference_seconds = time.perf_counter() - begin
+
+    assert_results_identical(reference_results, columnar_results)
+    return {
+        "n_vms": len(trace.vms),
+        "n_slots": trace.n_slots,
+        "n_clusters": len(trace.fleet.clusters),
+        "reference_seconds": reference_seconds,
+        "columnar_seconds": columnar_seconds,
+        "speedup": reference_seconds / columnar_seconds,
+        "bitwise_identical": True,
     }
 
 

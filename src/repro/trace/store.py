@@ -71,6 +71,191 @@ from repro.trace.vm import (
 #: On-disk format version (bumped on incompatible layout changes).
 STORE_FORMAT_VERSION = 1
 
+
+# --------------------------------------------------------------------------- #
+# Segment-reduce kernels over flat telemetry buffers
+#
+# A "segment" is one VM's samples for one resource: ``buffer[start:start+len]``.
+# The kernels below evaluate a per-segment statistic for *every* VM in a small,
+# fixed number of numpy calls instead of one Python-level call per VM -- the
+# characterization layer (``repro.characterization.columnar``) is built on
+# them.  Exactness contract: each kernel is bitwise-identical to applying the
+# corresponding numpy reduction to every ``buffer[start:start+len]`` slice
+# individually (the per-VM reference path), on any buffer dtype for the
+# order-independent reductions (max/min) and on float64 for mean/percentile.
+# --------------------------------------------------------------------------- #
+def segment_reduce(ufunc: np.ufunc, buffer: np.ndarray, starts: np.ndarray,
+                   lengths: np.ndarray) -> np.ndarray:
+    """Per-segment ``ufunc.reduce`` in one ``reduceat`` call.
+
+    Segments must be non-empty and in ascending buffer order (every store
+    row selection produced by the ``Trace`` filters satisfies both).  The
+    segment bounds are interleaved into one index array; ``reduceat``
+    evaluates every ``[start, end)`` slice at the even positions and the
+    (discarded) inter-segment gaps at the odd ones.
+    """
+    n = int(starts.size)
+    if n == 0:
+        return np.empty(0, dtype=buffer.dtype)
+    idx = np.empty(2 * n, dtype=np.int64)
+    idx[0::2] = starts
+    idx[1::2] = starts + lengths
+    # reduceat indices must be < buffer.size.  Segments are non-empty and
+    # ascending, so only the final end can sit at the buffer edge: drop it
+    # and let the last slice run to the end of the buffer.
+    if idx[-1] >= buffer.size:
+        idx = idx[:-1]
+    if idx.size > 1 and np.any(idx[:-1] >= buffer.size):
+        # Out-of-order selections (never produced by the Trace filters) fall
+        # back to the per-segment loop rather than mis-slicing.
+        return np.array([ufunc.reduce(buffer[s:s + l])
+                         for s, l in zip(starts, lengths)])
+    return ufunc.reduceat(buffer, idx)[0::2]
+
+
+def segment_sort(buffer: np.ndarray, starts: np.ndarray,
+                 lengths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort every segment independently in one pass.
+
+    Returns ``(values, offsets)`` where ``values`` packs the segments
+    contiguously (each one sorted ascending) and ``offsets`` is the
+    canonical ``(n + 1,)`` boundary array of the packed layout.  One
+    ``lexsort`` over (segment id, value) replaces one ``np.sort`` call per
+    VM; sorted *values* are identical either way, which is all the
+    percentile kernel below reads.
+    """
+    n = int(starts.size)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    if n == 0:
+        return np.empty(0, dtype=buffer.dtype), offsets
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    ids = np.repeat(np.arange(n, dtype=np.int64), lengths)
+    positions = np.repeat(starts, lengths) + (np.arange(total, dtype=np.int64)
+                                              - np.repeat(offsets[:-1], lengths))
+    packed = buffer[positions]
+    order = np.lexsort((packed, ids))
+    return packed[order], offsets
+
+
+def segment_percentile(sorted_values: np.ndarray, offsets: np.ndarray,
+                       pct: float) -> np.ndarray:
+    """Per-segment percentile over pre-sorted packed segments.
+
+    Replicates ``np.percentile(..., method="linear")`` step for step --
+    ``virtual = (n - 1) * (pct / 100)``, neighbour clamping, and the
+    two-branch linear interpolation (``a + diff * t`` below ``t = 0.5``,
+    ``b - diff * (1 - t)`` at or above) -- so float64 results are bitwise
+    identical to calling ``np.percentile`` on every segment.  float32
+    segments agree to rounding (numpy's scalar path keeps intermediates in
+    float32 where this vectorized path promotes to float64).
+    """
+    lengths = np.diff(offsets)
+    n = int(lengths.size)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    quantile = np.true_divide(pct, 100)
+    virtual = (lengths - 1) * quantile
+    previous = np.floor(virtual)
+    nxt = previous + 1
+    above = virtual >= lengths - 1
+    previous[above] = lengths[above] - 1
+    nxt[above] = lengths[above] - 1
+    below = virtual < 0
+    previous[below] = 0
+    nxt[below] = 0
+    previous = previous.astype(np.intp)
+    nxt = nxt.astype(np.intp)
+    gamma = virtual - previous
+    left = sorted_values[offsets[:-1] + previous]
+    right = sorted_values[offsets[:-1] + nxt]
+    diff = right - left
+    result = left + diff * gamma
+    high = gamma >= 0.5
+    result[high] = right[high] - diff[high] * (1 - gamma[high])
+    return result
+
+
+def segment_percentiles(buffer: np.ndarray, starts: np.ndarray,
+                        lengths: np.ndarray,
+                        pcts: Sequence[float]) -> Dict[float, np.ndarray]:
+    """Per-segment percentiles without sorting whole segments.
+
+    Segments of equal length share their interpolation ranks, so they are
+    gathered into one matrix and *partitioned* (O(n) selection) at exactly
+    the neighbour ranks every requested percentile reads -- the values at
+    those ranks match a full sort, so results equal
+    :func:`segment_percentile` (and therefore per-VM ``np.percentile``)
+    bitwise on float64 while doing a fraction of the comparisons.
+    """
+    n = int(starts.size)
+    out = {pct: np.empty(n, dtype=np.float64) for pct in pcts}
+    if n == 0 or not pcts:
+        return out
+    order = np.argsort(lengths, kind="stable")
+    sorted_lengths = lengths[order]
+    group_bounds = np.flatnonzero(np.diff(sorted_lengths)) + 1
+    for group in np.split(order, group_bounds):
+        length = int(lengths[group[0]])
+        matrix = buffer[starts[group][:, None]
+                        + np.arange(length, dtype=np.int64)[None, :]]
+        plan = []
+        ranks = set()
+        for pct in pcts:
+            quantile = np.true_divide(pct, 100)
+            virtual = (length - 1) * quantile
+            if virtual >= length - 1:
+                previous = nxt = length - 1
+            elif virtual < 0:
+                previous = nxt = 0
+            else:
+                previous = int(np.floor(virtual))
+                nxt = previous + 1
+            gamma = virtual - previous
+            plan.append((pct, previous, nxt, gamma))
+            ranks.update((previous, nxt))
+        matrix.partition(sorted(ranks), axis=1)
+        for pct, previous, nxt, gamma in plan:
+            left = matrix[:, previous]
+            right = matrix[:, nxt]
+            diff = right - left
+            if gamma >= 0.5:
+                out[pct][group] = right - diff * (1 - gamma)
+            else:
+                out[pct][group] = left + diff * gamma
+    return out
+
+
+def rowwise_mean(buffer: np.ndarray, starts: np.ndarray, lengths: np.ndarray,
+                 minuend: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-segment mean of ``segment`` (or ``minuend[i] - segment``).
+
+    Mean is order-*dependent* in floating point (numpy uses blocked pairwise
+    summation), so a plain ``add.reduceat`` would drift from the per-VM
+    reference by rounding.  Instead, segments of equal length are gathered
+    into one C-contiguous matrix and reduced with ``mean(axis=1)``: numpy
+    applies the identical per-row pairwise reduction it would apply to each
+    1-D slice, so results are bitwise-identical to calling ``np.mean`` per
+    segment while still batching one numpy call per *distinct length*
+    rather than per VM.
+    """
+    n = int(starts.size)
+    out = np.empty(n, dtype=np.float64 if minuend is not None
+                   else np.dtype(buffer.dtype))
+    if n == 0:
+        return out
+    order = np.argsort(lengths, kind="stable")
+    sorted_lengths = lengths[order]
+    group_bounds = np.flatnonzero(np.diff(sorted_lengths)) + 1
+    for group in np.split(order, group_bounds):
+        length = int(lengths[group[0]])
+        gathered = buffer[starts[group][:, None]
+                          + np.arange(length, dtype=np.int64)[None, :]]
+        if minuend is not None:
+            gathered = minuend[group][:, None] - gathered
+        out[group] = gathered.mean(axis=1)
+    return out
+
 #: File names of the on-disk layout.
 _META_FILE = "meta.json"
 _COLUMNS_FILE = "columns.npz"
@@ -378,6 +563,64 @@ class TraceStore:
                 table = np.zeros((0, len(ALL_RESOURCES)))
             self._alloc = table[self.config_index]
         return self._alloc
+
+    @property
+    def lifetime_hours(self) -> np.ndarray:
+        """Element-for-element :attr:`VMRecord.lifetime_hours`."""
+        return self.lifetime_slots / (SLOTS_PER_DAY / 24)
+
+    def resource_hours(self, resource: Resource) -> np.ndarray:
+        """Element-for-element :meth:`VMRecord.resource_hours`."""
+        return self.alloc[:, ALL_RESOURCES.index(resource)] * self.lifetime_hours
+
+    @property
+    def cores(self) -> np.ndarray:
+        """Per-VM ``config.cores`` column."""
+        table = np.array([cfg.cores for cfg in self.configs])
+        return table[self.config_index] if len(self.configs) else \
+            np.zeros(len(self), dtype=np.int64)
+
+    @property
+    def memory_gb(self) -> np.ndarray:
+        """Per-VM ``config.memory_gb`` column."""
+        table = np.array([cfg.memory_gb for cfg in self.configs])
+        return table[self.config_index] if len(self.configs) else \
+            np.zeros(len(self), dtype=np.int64)
+
+    def config_names(self) -> np.ndarray:
+        """Per-VM ``config.name`` column (object dtype)."""
+        table = np.array([cfg.name for cfg in self.configs], dtype=object)
+        return table[self.config_index] if len(self.configs) else \
+            np.empty(len(self), dtype=object)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry segment reductions (see the kernels at module level)
+    # ------------------------------------------------------------------ #
+    def segment_max(self, resource: Resource) -> np.ndarray:
+        """Per-VM ``series.maximum()`` for one resource, in one reduceat."""
+        return segment_reduce(np.maximum, self.util[resource],
+                              self.row_offset, self.row_length)
+
+    def segment_min(self, resource: Resource) -> np.ndarray:
+        """Per-VM ``series.minimum()`` for one resource, in one reduceat."""
+        return segment_reduce(np.minimum, self.util[resource],
+                              self.row_offset, self.row_length)
+
+    def segment_mean(self, resource: Resource) -> np.ndarray:
+        """Per-VM ``series.mean()``, bitwise-identical (see rowwise_mean)."""
+        return rowwise_mean(self.util[resource], self.row_offset,
+                            self.row_length)
+
+    def segment_percentiles(self, resource: Resource,
+                            pcts: Sequence[float]) -> Dict[float, np.ndarray]:
+        """Per-VM ``series.percentile(pct)`` for several percentiles at once.
+
+        Length-bucketed rank partitioning plus the replicated linear
+        interpolation -- bitwise identical to per-VM ``np.percentile`` on
+        float64 buffers (see :func:`segment_percentiles`).
+        """
+        return segment_percentiles(self.util[resource], self.row_offset,
+                                   self.row_length, pcts)
 
     def index_of(self, vm_id: str) -> int:
         """Row index of a VM id (maintained dict, O(1) after first use)."""
