@@ -144,6 +144,38 @@ def measure_characterization(smoke: bool) -> dict:
     return measure_characterization_throughput(trace)
 
 
+def measure_static_analysis() -> dict:
+    """Invariant-linter counts: convention debt tracked alongside perf.
+
+    ``active_findings`` must be 0 on a releasable tree (CI enforces it);
+    ``suppressed_findings`` is the justified-violation debt whose trajectory
+    the BENCH record makes visible PR over PR.
+    """
+    from repro.analysis import (
+        AnalysisEngine,
+        apply_baseline,
+        default_rules,
+        load_baseline,
+    )
+
+    root = Path(__file__).resolve().parents[1]
+    findings = AnalysisEngine(default_rules()).analyze_paths(
+        [root / "src" / "repro"], rel_root=root)
+    baseline_path = root / "analysis_baseline.json"
+    baseline = load_baseline(baseline_path) if baseline_path.exists() else {}
+    result = apply_baseline(findings, baseline)
+    by_rule: dict = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "active_findings": len(result.active),
+        "suppressed_findings": len(result.suppressed),
+        "baseline_entries": len(baseline),
+        "unused_baseline_entries": len(result.unused_entries),
+        "findings_by_rule": dict(sorted(by_rule.items())),
+    }
+
+
 def git_revision() -> str:
     command = ["git", "rev-parse", "--short", "HEAD"]
     try:
@@ -192,6 +224,11 @@ def print_summary(record: dict) -> None:
     print(f"  character. columnar {characterization['columnar_seconds']:.2f}s"
           f" vs reference {characterization['reference_seconds']:.2f}s", end="")
     print(f"  ({characterization['speedup']:.1f}x, bitwise identical)")
+    analysis = record["static_analysis"]
+    print(f"  analysis   {analysis['active_findings']} active finding(s), "
+          f"{analysis['suppressed_findings']} baselined "
+          f"({analysis['baseline_entries']} entries, "
+          f"{analysis['unused_baseline_entries']} unused)")
 
 
 def main(argv: list | None = None) -> int:
@@ -223,6 +260,7 @@ def main(argv: list | None = None) -> int:
         "chunked_replay": measure_chunked_replay(smoke),
         "trace_store": measure_trace_store(smoke),
         "characterization": measure_characterization(smoke),
+        "static_analysis": measure_static_analysis(),
     }
     print_summary(record)
 

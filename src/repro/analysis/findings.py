@@ -1,0 +1,46 @@
+"""Finding model for the invariant analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: they sort by location (stable CLI/report ordering) and
+expose a :meth:`key` that deliberately excludes the line number, so baseline
+entries keep matching when unrelated edits shift code up or down a file
+(see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Repo-relative POSIX path of the offending module."""
+
+    line: int
+    col: int
+
+    rule_id: str
+    """``REPNNN`` identifier of the rule that fired."""
+
+    message: str
+    """Human-readable description; stable, so baselines can match on it."""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline-matching key: everything except the (drifting) location."""
+        return (self.rule_id, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,88 @@
+"""REP001: unseeded RNG use -- the golden-trace-pin killer.
+
+Every stochastic path in the repo (trace generation, forest bootstrap, LSTM
+init, synthetic workloads) takes an explicit ``np.random.default_rng(seed)``
+so golden-trace pins and the bitwise equivalence suites are reproducible.
+One call into the *global* numpy generator -- ``np.random.normal(...)``,
+``np.random.seed(...)`` -- or a ``default_rng()`` with no seed argument
+reintroduces cross-run nondeterminism that no equality test can pin down.
+
+Flagged:
+
+* ``np.random.<anything>(...)`` attribute calls on the global generator
+  (every function except the seeded-constructor allowlist below);
+* ``np.random.default_rng()`` / a directly-imported ``default_rng()``
+  called with no seed argument at all;
+* ``np.random.RandomState()`` with no seed.
+
+Not flagged: seeded constructors (``default_rng(seed)``, ``Generator(...)``,
+``SeedSequence(...)``, bit generators), and anything in test modules -- the
+repo-root ``conftest.py`` deliberately reseeds the global state as a test
+safety net.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.engine import ModuleContext
+
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: ``np.random`` members that *construct* generators (seeded at the call
+#: site or wrapping an explicit bit generator) rather than drawing from the
+#: global stream.
+_CONSTRUCTORS = {
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for the ``np.random`` / ``numpy.random`` attribute chain."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _NUMPY_NAMES)
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    rule_id = "REP001"
+    title = "unseeded-rng"
+    rationale = ("global/unseeded numpy RNG breaks golden-trace pins and "
+                 "bitwise equivalence suites")
+    interests = (ast.Call, ast.ImportFrom)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Local aliases of `from numpy.random import default_rng [as x]`.
+        self._default_rng_aliases: set = set()
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if ctx.module.is_test:
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name == "default_rng":
+                        self._default_rng_aliases.add(alias.asname or alias.name)
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute) and _is_np_random(func.value):
+            name = func.attr
+            if name in ("default_rng", "RandomState"):
+                if not node.args and not node.keywords:
+                    ctx.report(self, node,
+                               f"`np.random.{name}()` without a seed argument "
+                               f"(in `{ctx.current_function_name()}`)")
+            elif name not in _CONSTRUCTORS:
+                ctx.report(self, node,
+                           f"`np.random.{name}(...)` draws from the unseeded "
+                           f"global generator "
+                           f"(in `{ctx.current_function_name()}`)")
+        elif isinstance(func, ast.Name) and func.id in self._default_rng_aliases:
+            if not node.args and not node.keywords:
+                ctx.report(self, node,
+                           "`default_rng()` without a seed argument "
+                           f"(in `{ctx.current_function_name()}`)")

@@ -1,0 +1,121 @@
+"""REP002: shared-memory hygiene -- segments must not outlive their owner.
+
+``TraceStore.export_shared`` copies telemetry into POSIX shared-memory
+segments that survive process exit: a leaked segment is leaked RAM until
+reboot.  The repo's ownership convention (``docs/trace_store.md``) is that
+the *exporting* function either cleans up in a ``finally`` (the
+``simulator/sweep.py`` shape) or transfers ownership by returning the
+handle to a caller who does.
+
+Within one function, a *creation event* is either a
+``SharedMemory(..., create=True)`` call or an ``<expr>.export_shared()``
+call.  A function containing a creation event is clean when:
+
+* some ``try``/``finally`` in the same function calls ``.unlink()`` or
+  ``.close()`` in its ``finally`` body, or
+* the created value is (part of) a ``return`` expression, or the name it
+  was assigned to appears in one -- ownership transfer to the caller.
+
+Nested function definitions are analyzed on their own, not as part of the
+enclosing function.  Cleanup placed only in an ``except`` handler does not
+count: the success path would still leak, so such factories must either
+restructure or carry a justified baseline entry (``TraceStore.export_shared``
+itself is the canonical baselined example -- its segments intentionally
+outlive the call, owned by the returned handle).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.engine import ModuleContext
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk *func*'s body, not descending into nested function definitions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _FUNCTION_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_creation(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "export_shared":
+        return True
+    name = func.attr if isinstance(func, ast.Attribute) else \
+        func.id if isinstance(func, ast.Name) else None
+    if name != "SharedMemory":
+        return False
+    return any(kw.arg == "create" and isinstance(kw.value, ast.Constant)
+               and kw.value.value is True for kw in node.keywords)
+
+
+def _finally_cleans_up(func: ast.AST) -> bool:
+    """A try/finally in *func* whose finally body unlinks or closes."""
+    for node in _walk_own(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) \
+                            and isinstance(sub.func, ast.Attribute) \
+                            and sub.func.attr in ("unlink", "close"):
+                        return True
+    return False
+
+
+@register_rule
+class ShmHygieneRule(Rule):
+    rule_id = "REP002"
+    title = "shm-hygiene"
+    rationale = ("shared-memory segments leak past process exit unless the "
+                 "owner unlinks in a finally or transfers ownership")
+    interests = _FUNCTION_NODES
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if ctx.module.is_test:
+            return
+        creation_calls: List[ast.Call] = []
+        bound_to: dict = {}  # id(creation call) -> assigned name
+        returned_names: set = set()
+        returned_calls: set = set()
+        for sub in _walk_own(node):
+            if _is_creation(sub):
+                creation_calls.append(sub)
+            if isinstance(sub, ast.Assign) and _is_creation(sub.value) \
+                    and len(sub.targets) == 1 \
+                    and isinstance(sub.targets[0], ast.Name):
+                bound_to[id(sub.value)] = sub.targets[0].id
+            elif isinstance(sub, ast.Return) and sub.value is not None:
+                for ret_sub in ast.walk(sub.value):
+                    if isinstance(ret_sub, ast.Name):
+                        returned_names.add(ret_sub.id)
+                    elif _is_creation(ret_sub):
+                        returned_calls.add(id(ret_sub))
+        if not creation_calls:
+            return
+        if _finally_cleans_up(node):
+            return
+        creations: List[Tuple[ast.Call, Optional[str]]] = \
+            [(call, bound_to.get(id(call))) for call in creation_calls]
+        for call, bound_name in creations:
+            if id(call) in returned_calls:
+                continue  # ownership transfer: `return ....export_shared()`
+            if bound_name is not None and bound_name in returned_names:
+                continue  # ownership transfer via the bound name
+            kind = "export_shared()" \
+                if isinstance(call.func, ast.Attribute) \
+                and call.func.attr == "export_shared" else \
+                "SharedMemory(create=True)"
+            ctx.report(self, call,
+                       f"`{kind}` in `{getattr(node, 'name', '<lambda>')}` "
+                       "has no `finally` unlink/close and does not return "
+                       "the created handle")

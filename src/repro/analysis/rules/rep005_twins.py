@@ -1,0 +1,98 @@
+"""REP005: every columnar ``maybe_*`` twin must keep its reference loop alive.
+
+The reference-vs-vectorized convention (``docs/architecture.md``) says a
+vectorized kernel never *replaces* its seed loop -- the loop survives as
+the differential-testing reference.  In ``repro.characterization`` that
+contract is structural: ``columnar.py`` exports ``maybe_<stat>`` twins that
+return ``None`` when a trace cannot take the columnar path, and each figure
+module dispatches::
+
+    result = columnar.maybe_<stat>(...)
+    if result is not None:
+        return result
+    ...  # the seed per-VM loop, still the reference implementation
+
+This cross-file rule checks that shape mechanically.  For every top-level
+``maybe_*`` function defined in a ``characterization.columnar`` module it
+requires, somewhere in a sibling module of the same package:
+
+* at least one call to that twin (a twin nobody dispatches is dead code
+  masquerading as coverage), and
+* at least one call site whose enclosing function continues past the
+  dispatch statement -- i.e. the reference fallback still exists.  A bare
+  ``return columnar.maybe_x(...)`` would mean the reference loop was
+  deleted and the "twin" is now the only implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.analysis.base import FinishReporter, Rule, register_rule
+from repro.analysis.engine import ModuleInfo, Project
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_columnar_module(module: ModuleInfo) -> bool:
+    parts = module.module.split(".")
+    return len(parts) >= 2 and parts[-1] == "columnar" \
+        and "characterization" in parts
+
+
+def _called_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _dispatch_sites(sibling: ModuleInfo, twin: str) -> List[bool]:
+    """For each call of *twin* in *sibling*: does its enclosing function
+    keep any statements after the dispatch statement (the fallback)?"""
+    sites: List[bool] = []
+    for func in ast.walk(sibling.tree):
+        if not isinstance(func, _FUNCTION_NODES):
+            continue
+        for index, stmt in enumerate(func.body):
+            calls_twin = any(isinstance(sub, ast.Call)
+                             and _called_name(sub) == twin
+                             for sub in ast.walk(stmt))
+            if calls_twin:
+                sites.append(index < len(func.body) - 1)
+    return sites
+
+
+@register_rule
+class DispatchTwinRule(Rule):
+    rule_id = "REP005"
+    title = "dispatch-twin"
+    rationale = ("a `maybe_*` columnar twin without a live reference "
+                 "fallback silently retires the differential-testing loop")
+
+    def finish(self, project: Project, report: FinishReporter) -> None:
+        for columnar in project.modules:
+            if not _is_columnar_module(columnar) or columnar.is_test:
+                continue
+            package = columnar.module.rsplit(".", 1)[0]
+            siblings = [m for m in project.in_package(package)
+                        if m is not columnar and not m.is_test]
+            twins: Dict[str, ast.AST] = {
+                stmt.name: stmt for stmt in columnar.tree.body
+                if isinstance(stmt, _FUNCTION_NODES)
+                and stmt.name.startswith("maybe_")}
+            for name, node in twins.items():
+                sites: List[bool] = []
+                for sibling in siblings:
+                    sites.extend(_dispatch_sites(sibling, name))
+                if not sites:
+                    report(columnar, node,
+                           f"columnar twin `{name}` is never dispatched from "
+                           f"a reference module in `{package}`")
+                elif not any(sites):
+                    report(columnar, node,
+                           f"every dispatch of `{name}` lacks a reference "
+                           "fallback after the columnar attempt")

@@ -34,6 +34,9 @@ on percentile-and-mean statistics (numpy's scalar path keeps float32
 intermediates where the vectorized path promotes) and bitwise elsewhere.
 """
 
+# repro: hot-path  -- REP003: statistics reduce over the store's flat
+# buffers in place; materializing copies here defeats the columnar layout.
+
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple

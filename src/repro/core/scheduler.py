@@ -43,6 +43,9 @@ view over one ledger row; accounts constructed standalone get a private
 single-row ledger, so existing callers and tests keep working unchanged.
 """
 
+# repro: hot-path  -- REP003: placement evaluates every server per VM; the
+# ledger matrices are updated by row, never rebuilt or copied per plan.
+
 from __future__ import annotations
 
 from collections import deque

@@ -47,6 +47,9 @@ The differential tests (``tests/test_violation_equivalence.py`` and
 :class:`ViolationStats` across meters and chunk sizes.
 """
 
+# repro: hot-path  -- REP003: demand segments are gathered as views, never
+# copied; justified exceptions are listed in analysis_baseline.json.
+
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple

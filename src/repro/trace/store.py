@@ -46,6 +46,9 @@ shared-memory fan-out at a documented precision cost; both paths over the
 *same* store always agree bitwise because they read the same buffer.
 """
 
+# repro: hot-path  -- REP003: telemetry buffers must stay zero-copy here;
+# justified metadata-only copies are listed in analysis_baseline.json.
+
 from __future__ import annotations
 
 import json

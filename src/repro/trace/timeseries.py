@@ -231,8 +231,14 @@ class UtilizationSeries:
         window on any day.  Windows never observed are ``nan``.
         """
         per_day = self.window_max_per_day(config)
-        with np.errstate(all="ignore"):
-            result = np.nanmax(per_day, axis=0)
+        # Windows the VM never observed are all-NaN columns and are meant to
+        # stay NaN.  ``np.nanmax`` computes exactly that but emits a
+        # RuntimeWarning per all-NaN slice (fatal under the suite's
+        # ``filterwarnings = error``), so reduce through a -inf sentinel:
+        # identical values, no warning machinery.
+        missing = np.isnan(per_day)
+        result = np.where(missing, -np.inf, per_day).max(axis=0)
+        result[missing.all(axis=0)] = np.nan
         return result
 
     def lifetime_window_percentile(self, config: TimeWindowConfig, pct: float) -> np.ndarray:

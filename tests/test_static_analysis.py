@@ -1,0 +1,430 @@
+"""Tier-1 tests for the invariant analyzer (``repro.analysis``).
+
+Each rule gets at least one positive (flagged) and one negative (clean)
+code sample, the baseline workflow is exercised end to end, the CLI's exit
+codes are pinned, and -- the acceptance gate -- the repo's own ``src/repro``
+tree must be clean modulo the checked-in ``analysis_baseline.json`` with no
+unused baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisEngine,
+    Finding,
+    ModuleInfo,
+    Project,
+    analyze_source,
+    apply_baseline,
+    default_rules,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run(source: str, *, module: str = "repro.core.sample") -> list:
+    return analyze_source(textwrap.dedent(source), module=module,
+                          path=f"{module.replace('.', '/')}.py")
+
+
+def rule_ids(findings) -> list:
+    return sorted({f.rule_id for f in findings})
+
+
+# --------------------------------------------------------------------------- #
+# REP001: unseeded RNG
+# --------------------------------------------------------------------------- #
+class TestRep001UnseededRng:
+    def test_flags_global_generator_calls(self):
+        findings = run("""
+            import numpy as np
+
+            def jitter(x):
+                return x + np.random.normal(0.0, 0.1)
+        """)
+        assert rule_ids(findings) == ["REP001"]
+        assert "global generator" in findings[0].message
+
+    def test_flags_default_rng_without_seed(self):
+        findings = run("""
+            import numpy as np
+            from numpy.random import default_rng
+
+            def make():
+                a = np.random.default_rng()
+                b = default_rng()
+                return a, b
+        """)
+        assert [f.rule_id for f in findings] == ["REP001", "REP001"]
+
+    def test_flags_global_seed_call(self):
+        findings = run("""
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert rule_ids(findings) == ["REP001"]
+
+    def test_seeded_construction_is_clean(self):
+        findings = run("""
+            import numpy as np
+            from numpy.random import default_rng
+
+            def make(seed):
+                gen = np.random.Generator(np.random.PCG64(seed))
+                return np.random.default_rng(seed), default_rng(7), gen
+        """)
+        assert findings == []
+
+    def test_test_modules_are_exempt(self):
+        findings = run("""
+            import numpy as np
+            np.random.seed(0)
+        """, module="tests.test_sample")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP002: shared-memory hygiene
+# --------------------------------------------------------------------------- #
+class TestRep002ShmHygiene:
+    def test_flags_creation_without_finally(self):
+        findings = run("""
+            from multiprocessing import shared_memory
+
+            def leaky(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                shm.buf[0] = 1
+        """)
+        assert rule_ids(findings) == ["REP002"]
+        assert "SharedMemory(create=True)" in findings[0].message
+
+    def test_flags_export_shared_without_cleanup(self):
+        findings = run("""
+            def leaky(store):
+                handle = store.export_shared()
+                handle.attach()
+        """)
+        assert rule_ids(findings) == ["REP002"]
+        assert "export_shared()" in findings[0].message
+
+    def test_finally_unlink_is_clean(self):
+        findings = run("""
+            def tidy(store):
+                handle = store.export_shared()
+                try:
+                    return handle.attach()
+                finally:
+                    handle.unlink()
+        """)
+        assert findings == []
+
+    def test_returning_the_handle_transfers_ownership(self):
+        findings = run("""
+            def factory_direct(store):
+                return store.export_shared()
+
+            def factory_bound(store):
+                handle = store.export_shared()
+                register(handle)
+                return handle
+        """)
+        assert findings == []
+
+    def test_attach_by_name_is_not_a_creation(self):
+        findings = run("""
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                shm = shared_memory.SharedMemory(name=name)
+                return shm
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP003: hot-path copies
+# --------------------------------------------------------------------------- #
+class TestRep003HotPathCopy:
+    def test_flags_copies_under_pragma(self):
+        findings = run("""
+            # repro: hot-path
+            import numpy as np
+
+            def gather(buffer, index):
+                rows = index.tolist()
+                dense = np.ascontiguousarray(buffer)
+                return dense.copy(), rows
+        """)
+        assert [f.rule_id for f in findings] == ["REP003"] * 3
+        assert any(".tolist()" in f.message for f in findings)
+        assert any("np.ascontiguousarray" in f.message for f in findings)
+        assert all("(in `gather`)" in f.message for f in findings)
+
+    def test_module_without_pragma_is_exempt(self):
+        findings = run("""
+            def gather(buffer, index):
+                return buffer.copy(), index.tolist()
+        """)
+        assert findings == []
+
+    def test_pragma_module_without_copies_is_clean(self):
+        findings = run("""
+            # repro: hot-path
+            def gather(buffer, lo, hi):
+                return buffer[lo:hi]
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP004: wall-clock reads
+# --------------------------------------------------------------------------- #
+class TestRep004WallClock:
+    def test_flags_clock_reads(self):
+        findings = run("""
+            import time
+            from datetime import datetime
+
+            def stamp(result):
+                result["at"] = time.time()
+                result["when"] = datetime.now()
+                result["took"] = time.perf_counter()
+                return result
+        """)
+        assert [f.rule_id for f in findings] == ["REP004"] * 3
+        assert any("`time.time()`" in f.message for f in findings)
+        assert any("`datetime.now()`" in f.message for f in findings)
+
+    def test_benchmarking_harness_is_allowed(self):
+        findings = run("""
+            import time
+
+            def measure(fn):
+                begin = time.perf_counter()
+                fn()
+                return time.perf_counter() - begin
+        """, module="repro.simulator.benchmarking")
+        assert findings == []
+
+    def test_non_clock_attributes_are_clean(self):
+        findings = run("""
+            import time
+
+            def wait():
+                time.sleep(0.0)
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP005: dispatch twins
+# --------------------------------------------------------------------------- #
+def _project(columnar_src: str, sibling_src: str) -> Project:
+    columnar = ModuleInfo.from_source(
+        textwrap.dedent(columnar_src),
+        path="src/repro/characterization/columnar.py",
+        module="repro.characterization.columnar")
+    sibling = ModuleInfo.from_source(
+        textwrap.dedent(sibling_src),
+        path="src/repro/characterization/stat.py",
+        module="repro.characterization.stat")
+    return Project([columnar, sibling])
+
+
+class TestRep005DispatchTwin:
+    def test_dispatch_with_fallback_is_clean(self):
+        project = _project(
+            """
+            def maybe_stat(trace):
+                return None
+            """,
+            """
+            from repro.characterization import columnar
+
+            def stat(trace):
+                result = columnar.maybe_stat(trace)
+                if result is not None:
+                    return result
+                return sum(vm.value for vm in trace)
+            """)
+        assert AnalysisEngine().analyze_project(project) == []
+
+    def test_undispatched_twin_is_flagged(self):
+        project = _project(
+            """
+            def maybe_stat(trace):
+                return None
+
+            def maybe_orphan(trace):
+                return None
+            """,
+            """
+            from repro.characterization import columnar
+
+            def stat(trace):
+                result = columnar.maybe_stat(trace)
+                if result is not None:
+                    return result
+                return 0
+            """)
+        findings = AnalysisEngine().analyze_project(project)
+        assert rule_ids(findings) == ["REP005"]
+        assert "maybe_orphan" in findings[0].message
+        assert "never dispatched" in findings[0].message
+
+    def test_dispatch_without_fallback_is_flagged(self):
+        project = _project(
+            """
+            def maybe_stat(trace):
+                return None
+            """,
+            """
+            from repro.characterization import columnar
+
+            def stat(trace):
+                return columnar.maybe_stat(trace)
+            """)
+        findings = AnalysisEngine().analyze_project(project)
+        assert rule_ids(findings) == ["REP005"]
+        assert "lacks a reference fallback" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# Baseline workflow
+# --------------------------------------------------------------------------- #
+class TestBaseline:
+    def _finding(self, message: str = "bad thing (in `f`)") -> Finding:
+        return Finding(path="src/repro/x.py", line=3, col=0,
+                       rule_id="REP001", message=message)
+
+    def test_roundtrip_and_matching_ignores_lines(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._finding()], path)
+        baseline = load_baseline(path)
+        drifted = Finding(path="src/repro/x.py", line=99, col=4,
+                          rule_id="REP001", message="bad thing (in `f`)")
+        result = apply_baseline([drifted], baseline)
+        assert result.active == []
+        assert result.suppressed == [drifted]
+        assert result.unused_entries == []
+
+    def test_unused_entries_are_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._finding()], path)
+        result = apply_baseline([], load_baseline(path))
+        assert len(result.unused_entries) == 1
+        assert result.unused_entries[0]["rule"] == "REP001"
+
+    def test_justifications_carry_forward(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = self._finding()
+        write_baseline([finding], path)
+        payload = json.loads(path.read_text())
+        payload["entries"][0]["justification"] = "because physics"
+        path.write_text(json.dumps(payload))
+        write_baseline([finding], path, justifications=load_baseline(path))
+        assert json.loads(path.read_text())["entries"][0]["justification"] \
+            == "because physics"
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        def jitter(x):
+            return x + np.random.normal(0.0, 0.1)
+    """))
+    return pkg
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, dirty_tree, capsys):
+        assert main([str(dirty_tree), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "1 finding(s)" in out
+
+    def test_baseline_suppresses_to_exit_zero(self, dirty_tree, tmp_path,
+                                              capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(dirty_tree), "--write-baseline", str(baseline)]) == 0
+        assert main([str(dirty_tree), "--baseline", str(baseline)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_json_format_and_output_file(self, dirty_tree, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main([str(dirty_tree), "--no-baseline", "--format", "json",
+                     "--output", str(report)])
+        assert code == 1
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(report.read_text())
+        assert stdout_payload == file_payload
+        assert stdout_payload["counts"]["active"] == 1
+        assert stdout_payload["findings"][0]["rule"] == "REP001"
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope"), "--no-baseline"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_exits_two(self, dirty_tree, tmp_path,
+                                                 capsys):
+        code = main([str(dirty_tree),
+                     "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "baseline not found" in capsys.readouterr().err
+
+    def test_list_rules_covers_catalog(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+
+
+# --------------------------------------------------------------------------- #
+# The acceptance gate: the repo's own tree is clean modulo the baseline
+# --------------------------------------------------------------------------- #
+class TestTreeClean:
+    def test_src_repro_clean_modulo_baseline(self):
+        engine = AnalysisEngine(default_rules())
+        findings = engine.analyze_paths([REPO_ROOT / "src" / "repro"],
+                                        rel_root=REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / "analysis_baseline.json")
+        result = apply_baseline(findings, baseline)
+        assert result.active == [], \
+            "new invariant violations:\n" + \
+            "\n".join(f.format() for f in result.active)
+        assert result.unused_entries == [], \
+            "stale baseline entries: " + json.dumps(result.unused_entries)
+
+    def test_every_rule_has_baselined_or_zero_findings(self):
+        # The suppressed set documents exactly the justified violations;
+        # pin the shape so a rule silently going dead is noticed.
+        engine = AnalysisEngine(default_rules())
+        findings = engine.analyze_paths([REPO_ROOT / "src" / "repro"],
+                                        rel_root=REPO_ROOT)
+        by_rule = {f.rule_id for f in findings}
+        # REP002/REP003/REP004 have known, justified baselined findings.
+        assert {"REP002", "REP003", "REP004"} <= by_rule
+        # REP001/REP005 must stay at zero findings tree-wide.
+        assert "REP001" not in by_rule
+        assert "REP005" not in by_rule

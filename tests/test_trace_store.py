@@ -327,6 +327,36 @@ class TestSharedMemory:
         handle.unlink()
         assert all(segment_is_gone(name) for name in handle.segment_names)
 
+    def test_unlink_after_attached_use_is_still_a_noop_for_workers(self, store):
+        """REP002's model: the owner's unlink is the single cleanup point;
+        a second unlink after a worker attached and closed stays a no-op."""
+        handle = store.export_shared()
+        attached = handle.attach()
+        attached.close_shared()
+        handle.unlink()
+        handle.unlink()
+        assert all(segment_is_gone(name) for name in handle.segment_names)
+
+    def test_attach_after_owner_unlink_raises_cleanly(self, store):
+        """Attaching a handle whose owner already unlinked must fail with
+        FileNotFoundError (no half-built store, no segment resurrection)."""
+        handle = store.export_shared()
+        handle.unlink()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+        # The failed attach must not have re-created anything.
+        assert all(segment_is_gone(name) for name in handle.segment_names)
+
+    def test_close_shared_is_idempotent(self, store):
+        handle = store.export_shared()
+        try:
+            attached = handle.attach()
+            attached.close_shared()
+            attached.close_shared()
+        finally:
+            handle.unlink()
+        assert all(segment_is_gone(name) for name in handle.segment_names)
+
     def test_worker_crash_does_not_leak_segments(self, store):
         """A worker dying mid-attach must not leak: the exporting process
         owns the segments and its unlink is the single cleanup point."""
