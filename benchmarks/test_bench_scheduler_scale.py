@@ -1,10 +1,19 @@
 """Placement throughput of the vectorized scheduler at production scale.
 
-Packs >=5000 VM plans onto a 200-server cluster with the matrix-form
-:class:`ClusterScheduler` and compares plans/second against the seed
-per-server loop (:class:`ReferenceLoopScheduler`).  The reference is timed on
-a prefix of the same arrival sequence -- its per-plan cost is dominated by
-the full server scan, so a prefix is representative -- to keep the suite's
+Two measurements:
+
+* the single-size benchmark packs >=5000 VM plans onto a 200-server
+  cluster with the matrix-form :class:`ClusterScheduler` and compares
+  plans/second against the seed per-server loop
+  (:class:`ReferenceLoopScheduler`);
+* the scaling curve (PR 7) sweeps fleet sizes and compares the
+  incremental batched scheduler against the dense PR 6 baseline
+  (``incremental=False`` + sequential ``place``), asserting >=5x at the
+  largest size -- the regime the incremental caches exist for.
+
+References are timed on a prefix of the same arrival sequence -- their
+per-plan cost is dominated by the full server scan, which is independent
+of cluster fill, so a prefix is representative -- to keep the suite's
 wall-clock time bounded.
 """
 
@@ -13,6 +22,7 @@ import time
 from conftest import assert_perf, bench_smoke_enabled, run_once
 
 from repro.core.scheduler import ClusterScheduler, ReferenceLoopScheduler
+from repro.simulator.benchmarking import measure_scheduler_scaling
 from repro.simulator.synthetic import (
     BENCH_WINDOWS as WINDOWS,
     SCALE_BENCH_CLUSTER as SCALE_CLUSTER,
@@ -59,3 +69,24 @@ def test_vectorized_scheduler_scale_throughput(benchmark):
     assert_perf(speedup >= 5.0,
                 f"expected >=5x placement speedup over the seed loop, "
                 f"got {speedup:.1f}x")
+
+
+def test_scheduler_scaling_curve(benchmark):
+    smoke = bench_smoke_enabled()
+    result = run_once(benchmark, measure_scheduler_scaling, smoke=smoke)
+
+    print("\nScheduler scaling curve (incremental place_batch vs dense PR 6):")
+    for point in result["curve"]:
+        print(f"  {point['n_servers']:6d} servers: "
+              f"incremental {point['incremental_plans_per_s']:8.0f} plans/s, "
+              f"dense {point['dense_plans_per_s']:8.0f} plans/s, "
+              f"speedup {point['speedup']:6.2f}x "
+              f"({point['accepted']} accepted, {point['rejected']} rejected)")
+
+    # The harness already asserted decision equality on every prefix; the
+    # perf gate is the acceptance criterion: >=5x at the largest size.
+    assert all(point["decisions_identical"] for point in result["curve"])
+    assert_perf(result["largest_speedup"] >= 5.0,
+                f"expected >=5x incremental speedup at "
+                f"{result['largest_size']} servers, "
+                f"got {result['largest_speedup']:.1f}x")

@@ -4,7 +4,9 @@
 Writes ``BENCH_<date>.json`` (see ``--output-dir``) with the headline
 performance numbers tracked PR over PR:
 
-* placement throughput (plans/s) of the vectorized scheduler,
+* placement throughput (plans/s) of the vectorized scheduler, plus the
+  multi-size scaling curve of the incremental batched scheduler against
+  the dense baseline,
 * replay throughput (observed server-slots/s) of the vectorized meter,
 * policy-sweep wall-clock, serial vs. process pool, with a bitwise
   equality check between the two,
@@ -57,6 +59,7 @@ from repro.simulator.benchmarking import (
     measure_characterization_throughput,
     measure_mmap_bounded_replay,
     measure_replay_memory,
+    measure_scheduler_scaling,
     measure_sweep_serial_vs_pool,
     measure_sweep_task_footprint,
 )
@@ -87,6 +90,11 @@ def measure_placement(smoke: bool) -> dict:
         "seconds": seconds,
         "plans_per_second": len(plans) / seconds,
     }
+
+
+def measure_scaling(smoke: bool) -> dict:
+    """Scheduler scaling curve: incremental place_batch vs the dense baseline."""
+    return measure_scheduler_scaling(smoke=smoke)
 
 
 def measure_replay(smoke: bool) -> dict:
@@ -203,6 +211,11 @@ def print_summary(record: dict) -> None:
     dense_mb = chunked["dense_peak_bytes"] / 1e6
     chunked_mb = chunked["chunked_peak_bytes"] / 1e6
     print(f"  placement  {placement['plans_per_second']:12.0f} plans/s")
+    scaling = record["scheduler_scaling"]
+    points = ", ".join(
+        f"{p['n_servers']}sv {p['incremental_plans_per_s']:.0f}/s "
+        f"({p['speedup']:.1f}x)" for p in scaling["curve"])
+    print(f"  scaling    {points}")
     print(f"  replay     {replay['server_slots_per_second']:12.0f} server-slots/s")
     print(f"  sweep      serial {sweep['serial_seconds']:.2f}s", end="")
     print(f"  pool {sweep['pool_seconds']:.2f}s", end="")
@@ -255,6 +268,7 @@ def main(argv: list | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "smoke": smoke,
         "placement": measure_placement(smoke),
+        "scheduler_scaling": measure_scaling(smoke),
         "replay": measure_replay(smoke),
         "sweep": measure_sweep(smoke),
         "chunked_replay": measure_chunked_replay(smoke),

@@ -10,4 +10,5 @@ from repro.analysis.rules import (  # noqa: F401
     rep003_hotpath,
     rep004_wallclock,
     rep005_twins,
+    rep006_ledger,
 )

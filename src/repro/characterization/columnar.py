@@ -40,6 +40,7 @@ intermediates where the vectorized path promotes) and bitwise elsewhere.
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -63,6 +64,13 @@ def _store_with(trace: Trace, resources: Sequence[Resource]) -> Optional[TraceSt
 # --------------------------------------------------------------------------- #
 # Windowed maxima: the shared kernel behind Figures 7-11
 # --------------------------------------------------------------------------- #
+#: store -> {(resource value, window_hours): cached window-entry tuple}.
+#: Keyed weakly so a discarded store (and its telemetry) is not pinned by
+#: its cached statistics; keyed per *object* because two stores over the
+#: same buffers may select different rows.
+_WINDOW_ENTRY_CACHE: "WeakKeyDictionary[TraceStore, Dict[Tuple[str, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]]" = WeakKeyDictionary()
+
+
 def window_entries(store: TraceStore, resource: Resource,
                    config: TimeWindowConfig
                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -75,12 +83,36 @@ def window_entries(store: TraceStore, resource: Resource,
     reduced in a single ``maximum.reduceat`` over the flat buffer instead of
     one Python generator step per (VM, window).
 
+    Results are cached per ``(store, resource, window length)``: several
+    Section-2 statistics sweep the same window configurations over the same
+    long-running selection (which :meth:`Trace.long_running` memoizes so
+    they share one store object), and the entries only depend on the
+    store's rows and buffer.  Cached arrays are marked read-only; callers
+    must treat them as immutable.
+
     Maxima come back as float64 regardless of the buffer dtype: the
     reference path stores ``samples.max()`` into a float64 NaN matrix
     (``window_max_per_day``), so every downstream comparison runs in
     float64 there -- widening here keeps reduced-precision stores bitwise
     identical on the window statistics too.
     """
+    per_store = _WINDOW_ENTRY_CACHE.get(store)
+    if per_store is None:
+        per_store = _WINDOW_ENTRY_CACHE.setdefault(store, {})
+    key = (resource.value, config.window_hours)
+    cached = per_store.get(key)
+    if cached is None:
+        cached = _compute_window_entries(store, resource, config)
+        for array in cached:
+            array.setflags(write=False)
+        per_store[key] = cached
+    return cached
+
+
+def _compute_window_entries(store: TraceStore, resource: Resource,
+                            config: TimeWindowConfig
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                       np.ndarray]:
     spw = config.slots_per_window
     n = len(store)
     series_start = store.series_start

@@ -99,6 +99,28 @@ class ClusterManager:
         self.stats.requests += 1
         plan = self.build_plan(vm)
         decision = self.scheduler.place(plan)
+        return self._register(vm, plan, decision)
+
+    def request_batch(self, vms: Sequence[VMRecord]) -> List[AdmissionResult]:
+        """Admit (or reject) an arrival batch through one scheduler call.
+
+        Plans are built up front (the prediction model is read-only, so each
+        plan is identical to what :meth:`request_vm` would build) and placed
+        via :meth:`ClusterScheduler.place_batch`, which amortizes the
+        per-plan preprocessing while still admitting sequentially against
+        the ledger.  Results and stats are identical to calling
+        :meth:`request_vm` on each record in order.
+        """
+        vms = list(vms)
+        self.stats.requests += len(vms)
+        plans = [self.build_plan(vm) for vm in vms]
+        decisions = self.scheduler.place_batch(plans)
+        return [self._register(vm, plan, decision)
+                for vm, plan, decision in zip(vms, plans, decisions)]
+
+    def _register(self, vm: VMRecord, plan: VMResourcePlan,
+                  decision: PlacementDecision) -> AdmissionResult:
+        """Post-placement bookkeeping shared by the single and batch paths."""
         if not decision.accepted:
             self.stats.rejected += 1
             return AdmissionResult(vm.vm_id, False, None, decision)
@@ -118,6 +140,8 @@ class ClusterManager:
         return AdmissionResult(vm.vm_id, True, coach_vm, decision)
 
     def request_many(self, vms: Sequence[VMRecord]) -> List[AdmissionResult]:
+        """Sequential reference for :meth:`request_batch` (kept for
+        differential testing)."""
         return [self.request_vm(vm) for vm in vms]
 
     def deallocate(self, vm_id: str) -> None:

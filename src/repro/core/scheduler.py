@@ -41,6 +41,36 @@ into a few dense matrix operations.
 :class:`ServerAccount` remains the public per-server API, but is now a thin
 view over one ledger row; accounts constructed standalone get a private
 single-row ledger, so existing callers and tests keep working unchanged.
+
+Incremental score caching and the summation-order contract
+----------------------------------------------------------
+
+``place()`` no longer pays a full ``(n_resources, n_servers, n_windows)``
+pass per plan.  The ledger maintains per-``(resource, server)`` caches --
+``demand_sum``/``demand_peak`` plus the VA peak ``va_peak`` -- refreshed in
+O(n_windows) whenever a row mutates.  The caches are *recomputed from the
+mutated row*, never incremented, so they are bitwise-equal to a fresh
+full-matrix reduction by construction (no drift to test away; the churn
+differential suite pins this anyway).
+
+The summation-order contract: the dense score of a server is
+``sum_r[(mean_w committed + plan demand) / capacity] / positive_count``,
+where the window mean and the resource sum each reduce a C-contiguous axis
+in index order.  Gathering a *subset* of rows (``demand[:, rows, :]``)
+yields the same contiguous per-row layout, so re-scoring only candidate
+rows reproduces the full pass bitwise.  The cached sums cannot reproduce
+that order (they pre-round ``sum_w`` before the plan term is added), so
+:meth:`ClusterLedger.best_fit_row` only uses them to *screen*: an exact
+interval argument (IEEE-754 addition is monotone, and the cached peaks are
+exact row maxima) classifies every server as surely-fitting, surely-failing
+or uncertain, and a documented tolerance band over the approximate scores
+bounds which rows can possibly win.  The shortlisted rows are then
+re-checked and re-scored with the exact dense arithmetic, which preserves
+bitwise-identical tie-breaking; whenever exactness cannot be guaranteed
+(degenerate capacities, or a band covering most of the fleet) the ledger
+falls back to the dense path wholesale.  ``ClusterScheduler.place_batch``
+amortizes the per-plan preprocessing across an arrival batch on top of the
+same row-level machinery, with decisions identical to sequential ``place``.
 """
 
 # repro: hot-path  -- REP003: placement evaluates every server per VM; the
@@ -64,6 +94,20 @@ FIT_EPSILON = 1e-6
 #: Residues at or below this magnitude after a release are snapped to zero so
 #: repeated commit/release churn cannot accumulate float drift.
 RESIDUE_EPSILON = 1e-9
+#: The screened best-fit path scores candidates approximately from the cached
+#: row sums, then re-scores every row within this band of the best
+#: surely-fitting score with the exact dense arithmetic.  For servers a plan
+#: fits, the approximation error is ~1e-13 (each per-resource ratio is at most
+#: ~2 given the capacity floor below, across tens of 2^-53 rounding steps), so
+#: the exact winner -- and every row tied with it -- always lands in the band.
+SCORE_TOLERANCE = 1e-9
+#: The SCORE_TOLERANCE error bound assumes positive capacities of at least
+#: this size; degenerate configs below it use the dense path wholesale.
+_CAPACITY_FLOOR = 1e-3
+#: Minimum candidate-set size at which the screened path abandons the
+#: shortlist and re-runs the dense evaluation (e.g. an empty cluster, where
+#: every approximate score ties inside the band).
+_DENSE_FALLBACK_MIN = 32
 
 #: Indices of resources inside ``ALL_RESOURCES``-ordered arrays.
 _CPU_INDEX = ALL_RESOURCES.index(Resource.CPU)
@@ -77,6 +121,19 @@ def plan_demand_matrix(plan: VMResourcePlan) -> np.ndarray:
     return np.stack([plan.plans[r].window_demand for r in ALL_RESOURCES])
 
 
+def _plan_screen_stats(plan_demand: np.ndarray,
+                       va_window_demand: np.ndarray) -> tuple:
+    """Per-resource extrema and means feeding the screened best-fit path.
+
+    The peaks/minima are exact window maxima/minima (order-independent), so
+    precomputing them for a whole batch yields the same values as computing
+    them per plan; the means only feed the approximate scores.
+    """
+    return (plan_demand.max(axis=1), plan_demand.min(axis=1),
+            plan_demand.mean(axis=1),
+            float(va_window_demand.max()), float(va_window_demand.min()))
+
+
 class ClusterLedger:
     """Cluster-level matrix bookkeeping of committed scheduling demand.
 
@@ -86,7 +143,10 @@ class ClusterLedger:
     """
 
     __slots__ = ("windows", "n_servers", "n_windows", "capacity", "demand",
-                 "pa_memory", "va_demand")
+                 "pa_memory", "va_demand", "demand_sum", "demand_peak",
+                 "va_peak", "score_base", "row_used", "_inv_capacity",
+                 "_inv_counts", "_fit_threshold", "_memory_threshold",
+                 "_score_safe", "_capacity_kind")
 
     def __init__(self, server_configs: Sequence[ServerConfig],
                  windows: TimeWindowConfig):
@@ -102,6 +162,30 @@ class ClusterLedger:
         self.demand = np.zeros((len(ALL_RESOURCES), self.n_servers, self.n_windows))
         self.pa_memory = np.zeros(self.n_servers)
         self.va_demand = np.zeros((self.n_servers, self.n_windows))
+        # Incremental caches (module docstring: "Incremental score caching").
+        # Derived strictly from the row arrays above and refreshed by
+        # _refresh_row_caches in the same mutation that touches a row (REP006
+        # enforces that no other code writes any of these arrays).
+        self.demand_sum = np.zeros((len(ALL_RESOURCES), self.n_servers))
+        self.demand_peak = np.zeros((len(ALL_RESOURCES), self.n_servers))
+        self.va_peak = np.zeros(self.n_servers)
+        self.score_base = np.zeros(self.n_servers)
+        self.row_used = np.zeros(self.n_servers, dtype=bool)
+        positive = capacity > 0
+        self._inv_capacity = np.where(
+            positive, 1.0 / np.where(positive, capacity, 1.0), 0.0)
+        self._inv_counts = 1.0 / np.maximum(positive.sum(axis=0), 1)
+        self._fit_threshold = capacity + FIT_EPSILON
+        self._memory_threshold = self._fit_threshold[_MEMORY_INDEX]
+        self._score_safe = bool(np.all(capacity[positive] >= _CAPACITY_FLOOR))
+        # Rows with bitwise-identical capacity columns are interchangeable
+        # while empty (identical scores, identical admission outcome), so the
+        # candidate shortlist only ever needs the first empty row per kind.
+        if self.n_servers:
+            self._capacity_kind = np.unique(
+                capacity.T, axis=0, return_inverse=True)[1].reshape(-1)
+        else:
+            self._capacity_kind = np.zeros(0, dtype=np.intp)
 
     # ------------------------------------------------------------------ #
     # Vectorized admission checks and packing score
@@ -156,15 +240,178 @@ class ClusterLedger:
         counts = positive.sum(axis=0)
         return ratios.sum(axis=0) / np.maximum(counts, 1)
 
+    def approx_packing_scores(self, plan_mean: np.ndarray) -> np.ndarray:
+        """Approximate packing scores from the cached per-row score bases.
+
+        ``plan_mean`` is the plan's per-resource window mean; the plan's
+        contribution is one ``(n_resources,) @ (n_resources, n_servers)``
+        product on top of the cached committed-demand term.  The result
+        tracks :meth:`packing_scores` to within the bound documented at
+        :data:`SCORE_TOLERANCE` for every server the plan fits, but is *not*
+        bitwise-identical (the cached sums round ``sum_w`` before the plan
+        term is added) -- callers must re-score candidates densely.
+        """
+        return (self.score_base + plan_mean @ self._inv_capacity) * self._inv_counts
+
+    def best_fit_row_dense(self, plan_demand: np.ndarray,
+                           guaranteed_memory_gb: float,
+                           va_window_demand: np.ndarray,
+                           conservative: bool) -> int:
+        """Reference best-fit: full-matrix admission masks + dense scores.
+
+        Returns the winning row index, or ``-1`` when no server fits.  This
+        is the pre-incremental placement arithmetic, kept as the exactness
+        fallback of :meth:`best_fit_row` and as the scaling-bench baseline.
+        """
+        hypothetical = self.hypothetical_demand(plan_demand)
+        vector_ok, backing_ok = self.fit_masks(
+            plan_demand, guaranteed_memory_gb, va_window_demand,
+            hypothetical=hypothetical)
+        mask = (vector_ok & backing_ok) if conservative else vector_ok
+        if not mask.any():
+            return -1
+        scores = np.where(
+            mask, self.packing_scores(hypothetical=hypothetical), -np.inf)
+        return int(np.argmax(scores))
+
+    def best_fit_row(self, plan_demand: np.ndarray, guaranteed_memory_gb: float,
+                     va_window_demand: np.ndarray, conservative: bool,
+                     stats: Optional[tuple] = None) -> int:
+        """Screened best-fit over the cached row sums, exact by construction.
+
+        Three steps, each relying only on IEEE-754 addition being monotone
+        (``fl(a + b)`` is non-decreasing in both arguments) and on the cached
+        peaks being exact row maxima:
+
+        1. *Screen* in O(n_resources x n_servers): if
+           ``fl(demand_peak + plan_peak) <= fl(capacity + eps)`` every window
+           of the row fits that resource; if
+           ``fl(demand_peak + plan_min) > fl(capacity + eps)`` the peak
+           window fails it.  Rows proven neither way stay *uncertain*.  The
+           PA term is evaluated exactly; the VA backing term is bounded the
+           same way through ``va_peak``.
+        2. *Band*: keep every not-surely-failing row whose approximate score
+           is within :data:`SCORE_TOLERANCE` of the best surely-fitting
+           row's.  The true winner (and every row tied with it) is fittable,
+           so its approximate score sits within the ~1e-13 error bound of its
+           exact score and cannot fall outside the band.
+        3. *Verify*: re-check admission and re-score the shortlisted rows
+           with the exact dense arithmetic.  Gathered rows are C-contiguous,
+           so the window mean and resource sum reduce in the same order as
+           the full-matrix pass (summation-order contract, module docstring)
+           and scores are bitwise-identical to :meth:`best_fit_row_dense`;
+           rows are scanned in ascending order, preserving first-max
+           tie-breaking.
+
+        Falls back to :meth:`best_fit_row_dense` when exactness cannot be
+        guaranteed (positive capacities below the documented floor) or when
+        the shortlist degenerates to a large fraction of the fleet (e.g. an
+        empty cluster, where every approximate score ties).
+        """
+        if not self._score_safe:
+            return self.best_fit_row_dense(plan_demand, guaranteed_memory_gb,
+                                           va_window_demand, conservative)
+        if stats is None:
+            stats = _plan_screen_stats(plan_demand, va_window_demand)
+        plan_peak, plan_min, plan_mean, va_peak_add, va_min_add = stats
+        threshold = self._fit_threshold
+        sure_ok = np.all(self.demand_peak + plan_peak[:, None] <= threshold, axis=0)
+        sure_bad = np.any(self.demand_peak + plan_min[:, None] > threshold, axis=0)
+        capacity_memory = self._memory_threshold
+        new_pa = self.pa_memory + guaranteed_memory_gb
+        pa_ok = new_pa <= capacity_memory
+        if conservative:
+            fit_hi = (pa_ok & sure_ok
+                      & (new_pa + (self.va_peak + va_peak_add) <= capacity_memory))
+            sure_fail = (~pa_ok | sure_bad
+                         | (new_pa + (self.va_peak + va_min_add) > capacity_memory))
+        else:
+            fit_hi = pa_ok & sure_ok
+            sure_fail = ~pa_ok | sure_bad
+        maybe = ~sure_fail
+        # fit_hi <= true fit set <= maybe (setwise); rows outside `maybe`
+        # cannot fit and rows in `fit_hi` need no window re-check to count
+        # as candidates, but are still re-scored below.
+        approx = self.approx_packing_scores(plan_mean)
+        if fit_hi.any():
+            best_sure = approx[fit_hi].max()
+            candidate_mask = maybe & (approx >= best_sure - SCORE_TOLERANCE)
+        else:
+            candidate_mask = maybe
+        rows = np.nonzero(candidate_mask)[0]
+        if rows.size == 0:
+            return -1
+        if rows.size > len(ALL_RESOURCES):
+            # Empty rows with bitwise-identical capacity columns have
+            # identical scores and admission outcomes, so only the first
+            # empty candidate of each capacity kind can survive the first-max
+            # tie-break; the rest are pruned before the exact re-score.  This
+            # keeps the shortlist O(ties + kinds) even while most of a large
+            # fleet is still empty (every same-kind empty row is banded
+            # together, so the kept row is the globally lowest-index one).
+            keep = self.row_used[rows]  # fancy indexing: a fresh, mutable array
+            if not keep.all():
+                empty_positions = np.nonzero(~keep)[0]
+                first_per_kind = np.unique(
+                    self._capacity_kind[rows[empty_positions]],
+                    return_index=True)[1]
+                keep[empty_positions[first_per_kind]] = True
+                rows = rows[keep]
+        if rows.size > max(_DENSE_FALLBACK_MIN, self.n_servers // 8):
+            return self.best_fit_row_dense(plan_demand, guaranteed_memory_gb,
+                                           va_window_demand, conservative)
+        hypothetical = self.demand[:, rows, :] + plan_demand[:, None, :]
+        capacity = self.capacity[:, rows]
+        window_ok = np.all(hypothetical <= capacity[:, :, None] + FIT_EPSILON,
+                           axis=2)
+        new_pa_rows = new_pa[rows]
+        capacity_memory = capacity[_MEMORY_INDEX]
+        fit = window_ok.all(axis=0) & (new_pa_rows <= capacity_memory + FIT_EPSILON)
+        if conservative:
+            new_va = (self.va_demand[rows] + va_window_demand[None, :]).max(axis=1)
+            fit &= (np.all(window_ok[_NON_MEMORY_INDICES], axis=0)
+                    & (new_pa_rows + new_va <= capacity_memory + FIT_EPSILON))
+        if not fit.any():
+            return -1
+        means = hypothetical.mean(axis=2)
+        positive = capacity > 0
+        ratios = np.where(positive, means / np.where(positive, capacity, 1.0), 0.0)
+        counts = positive.sum(axis=0)
+        scores = ratios.sum(axis=0) / np.maximum(counts, 1)
+        return int(rows[int(np.argmax(np.where(fit, scores, -np.inf)))])
+
     # ------------------------------------------------------------------ #
     # Row updates
     # ------------------------------------------------------------------ #
+    def _refresh_row_caches(self, row: int) -> None:
+        """Recompute one row's cached sums/peaks from the row arrays.
+
+        The caches are always *recomputed* from the mutated row, never
+        incremented, so they stay bitwise-equal to a fresh full-matrix
+        reduction (``demand.sum(axis=2)`` / ``demand.max(axis=2)`` /
+        ``va_demand.max(axis=1)`` reduce the same contiguous rows in the
+        same order) and cannot drift under commit/release churn; the same
+        holds for ``score_base`` against a per-column recompute of its
+        defining dot product.
+        """
+        row_demand = self.demand[:, row, :]
+        row_sum = row_demand.sum(axis=1)
+        self.demand_sum[:, row] = row_sum
+        self.demand_peak[:, row] = row_demand.max(axis=1)
+        self.va_peak[row] = self.va_demand[row].max()
+        self.score_base[row] = (row_sum / self.n_windows) @ self._inv_capacity[:, row]
+        # Committed demand is non-negative (release validates residues), so a
+        # zero sum/PA/VA-peak proves the whole row is exactly zero.
+        self.row_used[row] = bool(row_sum.any() or self.pa_memory[row]
+                                  or self.va_peak[row])
+
     def commit_row(self, row: int, plan: VMResourcePlan) -> None:
         for index, resource in enumerate(ALL_RESOURCES):
             self.demand[index, row, :] += plan.plans[resource].window_demand
         memory_plan = plan.plans[Resource.MEMORY]
         self.pa_memory[row] += memory_plan.guaranteed
         self.va_demand[row, :] += memory_plan.window_oversubscribed
+        self._refresh_row_caches(row)
 
     def release_row(self, row: int, plan: VMResourcePlan) -> None:
         """Subtract a plan from a row, snapping near-zero residues to zero.
@@ -172,20 +419,45 @@ class ClusterLedger:
         ``commit`` adds and ``release`` subtracts floats in whatever order
         plans churn through the server, so exact cancellation is not
         guaranteed; without the snap, residues of a few ULPs accumulate and
-        make servers look permanently fuller than they are.
+        make servers look permanently fuller than they are.  A residue more
+        negative than ``-RESIDUE_EPSILON`` cannot come from float drift -- it
+        means the plan was never committed to this row, or was already
+        released -- so it raises :class:`ValueError` instead of being
+        silently clamped to zero (which would corrupt the accounting).  All
+        residues are validated before any array is mutated, so a failed
+        release leaves the ledger (and its caches) untouched.
         """
-        for index, resource in enumerate(ALL_RESOURCES):
-            line = self.demand[index, row]
-            line -= plan.plans[resource].window_demand
-            np.maximum(line, 0.0, out=line)
-            line[line <= RESIDUE_EPSILON] = 0.0
         memory_plan = plan.plans[Resource.MEMORY]
-        new_pa = self.pa_memory[row] - memory_plan.guaranteed
-        self.pa_memory[row] = 0.0 if new_pa <= RESIDUE_EPSILON else new_pa
-        va = self.va_demand[row]
-        va -= memory_plan.window_oversubscribed
-        np.maximum(va, 0.0, out=va)
-        va[va <= RESIDUE_EPSILON] = 0.0
+        lines = []
+        for index, resource in enumerate(ALL_RESOURCES):
+            line = self.demand[index, row] - plan.plans[resource].window_demand
+            lowest = float(line.min(initial=0.0))
+            if lowest < -RESIDUE_EPSILON:
+                raise ValueError(
+                    f"releasing {plan.vm_id} from server row {row} drives "
+                    f"{resource.value} demand negative ({lowest:g}): the plan "
+                    "was not committed here or was already released")
+            lines.append(line)
+        new_pa = float(self.pa_memory[row]) - memory_plan.guaranteed
+        if new_pa < -RESIDUE_EPSILON:
+            raise ValueError(
+                f"releasing {plan.vm_id} from server row {row} drives "
+                f"guaranteed memory negative ({new_pa:g}): the plan was not "
+                "committed here or was already released")
+        new_va = self.va_demand[row] - memory_plan.window_oversubscribed
+        lowest = float(new_va.min(initial=0.0))
+        if lowest < -RESIDUE_EPSILON:
+            raise ValueError(
+                f"releasing {plan.vm_id} from server row {row} drives VA "
+                f"memory demand negative ({lowest:g}): the plan was not "
+                "committed here or was already released")
+        for index, line in enumerate(lines):
+            line[np.abs(line) <= RESIDUE_EPSILON] = 0.0
+            self.demand[index, row, :] = line
+        self.pa_memory[row] = 0.0 if abs(new_pa) <= RESIDUE_EPSILON else new_pa
+        new_va[np.abs(new_va) <= RESIDUE_EPSILON] = 0.0
+        self.va_demand[row, :] = new_va
+        self._refresh_row_caches(row)
 
     def assert_row_empty(self, row: int) -> None:
         """Verify a row carries no demand (called when its last plan leaves)."""
@@ -199,6 +471,7 @@ class ClusterLedger:
         self.demand[:, row, :] = 0.0
         self.pa_memory[row] = 0.0
         self.va_demand[row, :] = 0.0
+        self._refresh_row_caches(row)
 
 
 class ServerAccount:
@@ -357,6 +630,10 @@ def bulk_cpu_capacity_and_memory_backing(accounts: Sequence[ServerAccount]):
     as the vectorized violation meter stay bitwise-equivalent to per-account
     loops.
     """
+    if not accounts:
+        # A drained (or zero-server) cluster has no accounts; callers such as
+        # the violation meter expect empty vectors, not an IndexError.
+        return np.zeros(0), np.zeros(0)
     ledger = accounts[0]._ledger
     if all(account._ledger is ledger for account in accounts):
         rows = np.fromiter((account._row for account in accounts), np.intp,
@@ -391,13 +668,21 @@ class ClusterScheduler:
     ``decisions`` keeps only the most recent *decision_history* outcomes (a
     diagnostic ring); accept/reject totals are running counters, so neither
     grows with the number of placements.
+
+    *incremental* selects the screened best-fit path over the ledger's
+    cached row sums (:meth:`ClusterLedger.best_fit_row`); it produces
+    bitwise-identical decisions to the dense path, which remains selectable
+    (``incremental=False``) as the pre-cache baseline the scaling bench
+    measures against.
     """
 
     def __init__(self, cluster: ClusterConfig, windows: TimeWindowConfig,
-                 conservative: bool = True, decision_history: int = 256):
+                 conservative: bool = True, decision_history: int = 256,
+                 incremental: bool = True):
         self.cluster = cluster
         self.windows = windows
         self.conservative = conservative
+        self.incremental = incremental
         server_configs = cluster.server_configs()
         self.ledger = ClusterLedger(server_configs, windows)
         self.servers: Dict[str, ServerAccount] = {}
@@ -420,26 +705,69 @@ class ClusterScheduler:
         """Place a VM plan on the best-fitting server (fullest that still fits)."""
         if plan.windows.windows_per_day != self.windows.windows_per_day:
             raise ValueError("plan and server use different time window configurations")
+        return self._place_prepared(plan, plan_demand_matrix(plan), None)
+
+    def place_batch(self, plans: Sequence[VMResourcePlan]) -> List[PlacementDecision]:
+        """Place an arrival batch, amortizing the per-plan preprocessing.
+
+        Decisions are bitwise-identical to calling :meth:`place` on each plan
+        in order, including rejection ordering: admission still happens
+        sequentially against the ledger (a batch member sees every earlier
+        member's commit), but the demand tensors and the screening
+        extrema/means feeding :meth:`ClusterLedger.best_fit_row` are built in
+        one stacked pass for the whole batch.  The only divergence from the
+        sequential loop is on the error path: window-config mismatches are
+        validated up front, so a bad plan fails the whole batch before any
+        commit instead of after its predecessors were placed.
+        """
+        plans = list(plans)
+        for plan in plans:
+            if plan.windows.windows_per_day != self.windows.windows_per_day:
+                raise ValueError(
+                    "plan and server use different time window configurations")
+        if not plans:
+            return []
+        tensor = np.stack([plan_demand_matrix(plan) for plan in plans])
+        va = np.stack([plan.plans[Resource.MEMORY].window_oversubscribed
+                       for plan in plans])
+        # Extrema are order-independent and the means reduce the same
+        # contiguous rows as the per-plan path, so the batched stats are
+        # bitwise-equal to _plan_screen_stats on each plan.
+        peaks = tensor.max(axis=2)
+        mins = tensor.min(axis=2)
+        means = tensor.mean(axis=2)
+        va_peaks = va.max(axis=1)
+        va_mins = va.min(axis=1)
+        return [
+            self._place_prepared(
+                plan, tensor[index],
+                (peaks[index], mins[index], means[index],
+                 float(va_peaks[index]), float(va_mins[index])))
+            for index, plan in enumerate(plans)
+        ]
+
+    def _place_prepared(self, plan: VMResourcePlan, plan_demand: np.ndarray,
+                        stats: Optional[tuple]) -> PlacementDecision:
         if plan.vm_id in self._placements:
             # Silently overwriting would leak the old server's committed
             # demand forever; callers must deallocate first.
             raise ValueError(f"VM {plan.vm_id} is already placed on "
                              f"{self._placements[plan.vm_id]}")
-        plan_demand = plan_demand_matrix(plan)
         memory_plan = plan.plans[Resource.MEMORY]
-        hypothetical = self.ledger.hypothetical_demand(plan_demand)
-        vector_ok, backing_ok = self.ledger.fit_masks(
-            plan_demand, memory_plan.guaranteed, memory_plan.window_oversubscribed,
-            hypothetical=hypothetical)
-        mask = (vector_ok & backing_ok) if self.conservative else vector_ok
-
-        if not mask.any():
+        if self.incremental:
+            row = self.ledger.best_fit_row(
+                plan_demand, memory_plan.guaranteed,
+                memory_plan.window_oversubscribed, self.conservative,
+                stats=stats)
+        else:
+            row = self.ledger.best_fit_row_dense(
+                plan_demand, memory_plan.guaranteed,
+                memory_plan.window_oversubscribed, self.conservative)
+        if row < 0:
             decision = PlacementDecision(plan.vm_id, False, None, "no server fits")
             self._rejected += 1
         else:
-            scores = np.where(
-                mask, self.ledger.packing_scores(hypothetical=hypothetical), -np.inf)
-            best = self._accounts[int(np.argmax(scores))]
+            best = self._accounts[row]
             best.commit(plan)
             self._placements[plan.vm_id] = best.server_id
             decision = PlacementDecision(plan.vm_id, True, best.server_id)

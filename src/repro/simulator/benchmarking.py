@@ -98,6 +98,75 @@ def measure_sweep_serial_vs_pool(trace: Trace, *, n_clusters: int = 3,
     }
 
 
+def measure_scheduler_scaling(*, smoke: bool = False,
+                              seed: int = 7) -> Dict[str, object]:
+    """Placement throughput across fleet sizes: incremental vs dense (PR 6).
+
+    For every fleet size in :func:`scheduler_scaling_sizes`, one batched
+    incremental scheduler places the full arrival sequence while the dense
+    PR 6 baseline (``ClusterScheduler(..., incremental=False)`` driven by
+    sequential ``place`` calls) is timed on a prefix -- the dense per-call
+    cost is dominated by the full-fleet ``mean(axis=2)`` pass, which is
+    independent of cluster fill, so a prefix rate is representative.
+    Raises ``AssertionError`` if the two paths' decisions diverge on the
+    shared prefix (they are contractually bitwise-identical).  Returns the
+    curve plus the speedup at the largest size, the number tracked by the
+    BENCH JSON.
+    """
+    from repro.core.scheduler import ClusterScheduler
+    from repro.simulator.synthetic import (
+        BENCH_WINDOWS,
+        build_placement_plans,
+        build_scaled_bench_cluster,
+        scheduler_scaling_plan_count,
+        scheduler_scaling_sizes,
+    )
+
+    sizes = scheduler_scaling_sizes(smoke=smoke)
+    n_plans = scheduler_scaling_plan_count(smoke=smoke)
+    dense_prefix = max(50, n_plans // 5)
+    curve = []
+    for n_servers in sizes:
+        cluster = build_scaled_bench_cluster(n_servers)
+        plans = build_placement_plans(n_plans, BENCH_WINDOWS, seed=seed)
+
+        incremental = ClusterScheduler(cluster, BENCH_WINDOWS)
+        begin = time.perf_counter()
+        batched_decisions = incremental.place_batch(plans)
+        incremental_seconds = time.perf_counter() - begin
+
+        dense = ClusterScheduler(cluster, BENCH_WINDOWS, incremental=False)
+        begin = time.perf_counter()
+        dense_decisions = [dense.place(plan) for plan in plans[:dense_prefix]]
+        dense_seconds = time.perf_counter() - begin
+
+        if batched_decisions[:dense_prefix] != dense_decisions:
+            raise AssertionError(
+                f"incremental place_batch diverged from the dense sequential "
+                f"baseline at {n_servers} servers")
+        incremental_rate = n_plans / incremental_seconds
+        dense_rate = dense_prefix / dense_seconds
+        curve.append({
+            "n_servers": n_servers,
+            "n_plans": n_plans,
+            "accepted": incremental.accepted_count(),
+            "rejected": incremental.rejected_count(),
+            "incremental_seconds": incremental_seconds,
+            "incremental_plans_per_s": incremental_rate,
+            "dense_prefix_plans": dense_prefix,
+            "dense_seconds": dense_seconds,
+            "dense_plans_per_s": dense_rate,
+            "speedup": incremental_rate / dense_rate,
+            "decisions_identical": True,
+        })
+    return {
+        "sizes": list(sizes),
+        "curve": curve,
+        "largest_size": curve[-1]["n_servers"],
+        "largest_speedup": curve[-1]["speedup"],
+    }
+
+
 def measure_replay_memory(servers: Iterable[ServerAccount],
                           placed: Dict[str, VMRecord], n_slots: int,
                           chunk_slots: int,

@@ -128,21 +128,32 @@ class ClusterSimulation:
                         and vm.start_slot >= self.config.placement_start_slot]
         eval_vms.sort(key=lambda vm: (vm.start_slot, vm.vm_id))
 
-        # Event-driven replay: before each arrival, release VMs that ended.
-        # Departures sit in a min-heap keyed by end slot, so each arrival pops
-        # only the VMs that actually depart instead of rescanning the whole
-        # pending list.
+        # Event-driven replay: before each arrival batch, release VMs that
+        # ended.  Departures sit in a min-heap keyed by end slot, so each
+        # batch pops only the VMs that actually depart instead of rescanning
+        # the whole pending list.  Arrivals sharing a start slot are admitted
+        # as one ClusterManager.request_batch call; this is equivalent to the
+        # per-VM loop because a VM's end slot is strictly greater than its
+        # start slot (VMRecord.validate), so no departure can become due
+        # between two same-slot arrivals.
         pending_departures: List[Tuple[int, str]] = []
-        for vm in eval_vms:
-            self.requested += 1
-            while pending_departures and pending_departures[0][0] <= vm.start_slot:
+        index = 0
+        while index < len(eval_vms):
+            start_slot = eval_vms[index].start_slot
+            upper = index
+            while upper < len(eval_vms) and eval_vms[upper].start_slot == start_slot:
+                upper += 1
+            batch = eval_vms[index:upper]
+            index = upper
+            self.requested += len(batch)
+            while pending_departures and pending_departures[0][0] <= start_slot:
                 _end_slot, vm_id = heapq.heappop(pending_departures)
                 self.manager.deallocate(vm_id)
 
-            result = self.manager.request_vm(vm)
-            if result.accepted:
-                self.placed[vm.vm_id] = vm
-                heapq.heappush(pending_departures, (vm.end_slot, vm.vm_id))
+            for vm, result in zip(batch, self.manager.request_batch(batch)):
+                if result.accepted:
+                    self.placed[vm.vm_id] = vm
+                    heapq.heappush(pending_departures, (vm.end_slot, vm.vm_id))
 
         violations = self._measure_violations()
         return ClusterRunResult(self.cluster_id, self.manager, dict(self.placed),

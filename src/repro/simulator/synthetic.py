@@ -39,6 +39,41 @@ SCALE_BENCH_CLUSTER = ClusterConfig(
     "SCALE", "bench",
     (("gen4-intel", 60), ("gen5-intel", 50), ("gen6-amd", 50), ("gen7-amd", 40)))
 
+#: Fleet sizes of the scheduler scaling-curve benchmark (full mode).  The
+#: smallest matches :data:`SCALE_BENCH_CLUSTER` so the curve's first point
+#: stays comparable with the single-size placement benchmark.
+SCHEDULER_SCALING_SIZES: Tuple[int, ...] = (200, 1000, 5000)
+
+#: Reduced fleet sizes under ``REPRO_BENCH_SMOKE=1``.
+SCHEDULER_SCALING_SIZES_SMOKE: Tuple[int, ...] = (100, 400)
+
+
+def scheduler_scaling_sizes(*, smoke: bool = False) -> Tuple[int, ...]:
+    """Fleet sizes timed by the scheduler scaling curve (smoke-aware)."""
+    return SCHEDULER_SCALING_SIZES_SMOKE if smoke else SCHEDULER_SCALING_SIZES
+
+
+def scheduler_scaling_plan_count(*, smoke: bool = False) -> int:
+    """Arrival-sequence length per fleet size of the scaling curve."""
+    return 800 if smoke else 3000
+
+
+def build_scaled_bench_cluster(n_servers: int) -> ClusterConfig:
+    """A :data:`SCALE_BENCH_CLUSTER`-shaped cluster with *n_servers* servers.
+
+    Keeps the four-generation mix (so capacity stays heterogeneous and the
+    best-fit tie-breaking is exercised) while scaling the server count --
+    the independent variable of the scaling-curve benchmark.
+    """
+    if n_servers < 4:
+        raise ValueError(f"scaled bench cluster needs >= 4 servers, got {n_servers}")
+    quarter = n_servers // 4
+    return ClusterConfig(
+        f"SCALE-{n_servers}", "bench",
+        (("gen4-intel", n_servers - 3 * quarter), ("gen5-intel", quarter),
+         ("gen6-amd", quarter), ("gen7-amd", quarter)))
+
+
 #: 100-server cluster for the multi-week streaming-replay demonstrations.
 MULTIWEEK_BENCH_CLUSTER = ClusterConfig(
     "SWEEP", "bench",

@@ -100,13 +100,21 @@ def segment_reduce(ufunc: np.ufunc, buffer: np.ndarray, starts: np.ndarray,
     n = int(starts.size)
     if n == 0:
         return np.empty(0, dtype=buffer.dtype)
+    ends = starts + lengths
+    # A bound beyond the buffer means a corrupted (start, length) pair; the
+    # edge-trim below must never silently absorb it into the wrong slice.
+    overshoot = int(ends.max(initial=0))
+    if overshoot > buffer.size:
+        raise ValueError(
+            f"segment bound {overshoot} overruns the telemetry buffer "
+            f"({buffer.size} samples): corrupted segment starts/lengths")
     idx = np.empty(2 * n, dtype=np.int64)
     idx[0::2] = starts
-    idx[1::2] = starts + lengths
+    idx[1::2] = ends
     # reduceat indices must be < buffer.size.  Segments are non-empty and
-    # ascending, so only the final end can sit at the buffer edge: drop it
-    # and let the last slice run to the end of the buffer.
-    if idx[-1] >= buffer.size:
+    # ascending, so only the final end can sit exactly at the buffer edge:
+    # drop it and let the last slice run to the end of the buffer.
+    if idx[-1] == buffer.size:
         idx = idx[:-1]
     if idx.size > 1 and np.any(idx[:-1] >= buffer.size):
         # Out-of-order selections (never produced by the Trace filters) fall
@@ -624,6 +632,53 @@ class TraceStore:
         """
         return segment_percentiles(self.util[resource], self.row_offset,
                                    self.row_length, pcts)
+
+    def utilization_matrix(self, resource: Resource, n_slots: int,
+                           rows: Optional[np.ndarray] = None,
+                           absolute: bool = True) -> np.ndarray:
+        """Dense ``(n_rows, n_slots)`` demand matrix via one flat scatter.
+
+        The reference twin is the per-VM loop in
+        :meth:`repro.trace.trace.Trace.utilization_matrix`; this kernel
+        replaces it with a single fancy-indexed assignment into the
+        flattened matrix.  Bitwise contract: the reference computes
+        ``series.values[:k] * scale`` with ``scale`` a Python float, which
+        numpy's weak-scalar promotion evaluates in the buffer dtype before
+        the float64 matrix assignment widens it -- so the per-sample scale
+        factors below are cast to the buffer dtype first, and both paths
+        produce identical float64 entries on any buffer dtype.
+
+        ``rows`` selects (ascending) store rows; ``None`` means every row.
+        Series are clipped to the ``[0, n_slots)`` horizon exactly as the
+        reference's ``end = min(series.end_slot, n_slots)`` slice.
+        """
+        if rows is None:
+            rows = np.arange(len(self), dtype=np.intp)
+        else:
+            rows = np.asarray(rows, dtype=np.intp)
+        buffer = self.util[resource]
+        series_start = self.series_start[rows]
+        eff_len = np.minimum(self.row_length[rows], n_slots - series_start)
+        np.maximum(eff_len, 0, out=eff_len)
+        matrix = np.zeros((rows.size, n_slots))
+        total = int(eff_len.sum())
+        if total == 0:
+            return matrix
+        bounds = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(eff_len, out=bounds[1:])
+        # Position of every scattered sample inside its own segment.
+        intra = np.arange(total, dtype=np.int64) - np.repeat(bounds[:-1],
+                                                             eff_len)
+        src = np.repeat(self.row_offset[rows], eff_len) + intra
+        dst = (np.repeat(np.arange(rows.size, dtype=np.int64) * n_slots
+                         + series_start, eff_len) + intra)
+        samples = buffer[src]
+        if absolute:
+            scale = self.alloc[rows, ALL_RESOURCES.index(resource)]
+            samples = samples * np.repeat(scale, eff_len).astype(
+                buffer.dtype, copy=False)
+        matrix.ravel()[dst] = samples
+        return matrix
 
     def index_of(self, vm_id: str) -> int:
         """Row index of a VM id (maintained dict, O(1) after first use)."""

@@ -57,6 +57,13 @@ class Trace:
         # rebuilds.
         if self.store is not None:
             self._id_index: Optional[Dict[str, int]] = None
+            # min_days -> the selected sub-trace.  Every characterization
+            # statistic starts from ``trace.long_running(...)`` of the same
+            # top-level trace; memoizing the selection means they all share
+            # one sub-store object, which is what lets the per-store
+            # window-entry cache in ``repro.characterization.columnar`` hit
+            # across statistics.
+            self._long_running_cache: Dict[float, "Trace"] = {}
             return
         index: Dict[str, int] = {}
         for i, vm in enumerate(self.vms):
@@ -135,8 +142,12 @@ class Trace:
     def long_running(self, min_days: float = 1.0) -> "Trace":
         """VMs lasting more than *min_days* -- the oversubscription targets."""
         if self.store is not None:
-            return self._select(np.nonzero(
-                self.store.long_running_mask(min_days))[0])
+            cached = self._long_running_cache.get(min_days)
+            if cached is None:
+                cached = self._select(np.nonzero(
+                    self.store.long_running_mask(min_days))[0])
+                self._long_running_cache[min_days] = cached
+            return cached
         return self.filter(lambda vm: vm.is_long_running(min_days))
 
     def alive_at(self, slot: int) -> List[VMRecord]:
@@ -191,7 +202,16 @@ class Trace:
 
         Entries outside a VM's lifetime are zero.  When ``absolute`` is true,
         values are in resource units (cores / GB / ...), otherwise fractions.
+
+        Store-backed traces scatter the flat telemetry buffer straight into
+        the matrix (:meth:`TraceStore.utilization_matrix`); the per-VM loop
+        below is the reference twin and produces bitwise-identical output.
         """
+        if self.store is not None:
+            rows = (None if cluster_id is None
+                    else self.store.in_cluster_indices(cluster_id))
+            return self.store.utilization_matrix(
+                resource, self.n_slots, rows=rows, absolute=absolute)
         vms = self.vms if cluster_id is None else [
             vm for vm in self.vms if vm.cluster_id == cluster_id]
         matrix = np.zeros((len(vms), self.n_slots))

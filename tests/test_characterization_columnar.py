@@ -52,7 +52,11 @@ from repro.trace.store import (
     segment_reduce,
     segment_sort,
 )
-from repro.trace.timeseries import SLOTS_PER_DAY, UtilizationSeries
+from repro.trace.timeseries import (
+    SLOTS_PER_DAY,
+    TimeWindowConfig,
+    UtilizationSeries,
+)
 from repro.trace.trace import Trace
 from repro.trace.vm import VM_CATALOG, VMRecord
 
@@ -327,3 +331,74 @@ class TestWeekProfileView:
         assert np.shares_memory(profile["utilization"],
                                 vm.series(Resource.CPU).values)
         assert not profile["utilization"].flags.writeable
+
+
+class TestSegmentReduceBounds:
+    """The reduceat final-bound contract: drop only on exact coverage."""
+
+    def test_final_segment_ending_exactly_at_buffer_end(self):
+        buffer = np.arange(10.0)
+        starts = np.array([0, 4], dtype=np.int64)
+        lengths = np.array([4, 6], dtype=np.int64)  # ends exactly at 10
+        got = segment_reduce(np.maximum, buffer, starts, lengths)
+        assert np.array_equal(got, np.array([3.0, 9.0]))
+
+    def test_final_segment_ending_before_buffer_end(self):
+        buffer = np.arange(10.0)
+        starts = np.array([0, 4], dtype=np.int64)
+        lengths = np.array([4, 3], dtype=np.int64)  # trailing slack of 3
+        got = segment_reduce(np.maximum, buffer, starts, lengths)
+        assert np.array_equal(got, np.array([3.0, 6.0]))
+
+    def test_overshooting_segment_raises(self):
+        buffer = np.arange(10.0)
+        starts = np.array([0, 4], dtype=np.int64)
+        lengths = np.array([4, 7], dtype=np.int64)  # end 11 > 10 samples
+        with pytest.raises(ValueError, match="overruns the telemetry buffer"):
+            segment_reduce(np.maximum, buffer, starts, lengths)
+
+    def test_interior_overshoot_raises_too(self):
+        buffer = np.arange(10.0)
+        starts = np.array([0, 8], dtype=np.int64)
+        lengths = np.array([11, 1], dtype=np.int64)
+        with pytest.raises(ValueError, match="overruns the telemetry buffer"):
+            segment_reduce(np.minimum, buffer, starts, lengths)
+
+
+class TestWindowEntryCache:
+    def test_repeat_calls_return_the_cached_tuple(self, backend_trace):
+        trace, _rtol = backend_trace
+        config = TimeWindowConfig(6)
+        first = columnar.window_entries(trace.store, Resource.CPU, config)
+        second = columnar.window_entries(trace.store, Resource.CPU, config)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_cached_arrays_are_readonly(self, backend_trace):
+        trace, _rtol = backend_trace
+        entries = columnar.window_entries(trace.store, Resource.CPU,
+                                          TimeWindowConfig(6))
+        for array in entries:
+            assert not array.flags.writeable
+
+    def test_distinct_keys_get_distinct_entries(self, backend_trace):
+        trace, _rtol = backend_trace
+        cpu = columnar.window_entries(trace.store, Resource.CPU,
+                                      TimeWindowConfig(6))
+        memory = columnar.window_entries(trace.store, Resource.MEMORY,
+                                         TimeWindowConfig(6))
+        longer = columnar.window_entries(trace.store, Resource.CPU,
+                                         TimeWindowConfig(12))
+        assert cpu[3] is not memory[3]
+        assert cpu[0] is not longer[0]
+
+    def test_long_running_memoization_shares_the_store(self, backend_trace):
+        # Statistics all start from trace.long_running(min_days); the
+        # memoized selection means they hit one store object, so the
+        # window-entry cache actually connects across statistics.
+        trace, _rtol = backend_trace
+        first = trace.long_running(3.0)
+        second = trace.long_running(3.0)
+        assert first is second
+        assert first.store is second.store
+        other = trace.long_running(5.0)
+        assert other is not first

@@ -1,0 +1,229 @@
+"""Differential tests for the incremental scheduler layer (PR 7).
+
+Three contracts are pinned here:
+
+* the :class:`ClusterLedger` caches (``demand_sum`` / ``demand_peak`` /
+  ``va_peak`` / ``score_base`` / ``row_used``) stay *bitwise* equal to a
+  fresh full-matrix recompute after thousands of interleaved commit/release
+  cycles -- the float-drift regression for the summation-order contract;
+* the incremental screened best-fit (``ClusterScheduler(incremental=True)``,
+  the default) and batched placement (:meth:`ClusterScheduler.place_batch`)
+  produce decision sequences identical to the dense PR 6 path and to
+  sequential :meth:`place`, including rejection ordering on saturated
+  clusters;
+* the over-release accounting fixes: :meth:`ClusterLedger.release_row`
+  raises on genuinely negative residues (double release, never-committed
+  plans) instead of clamping, and
+  :func:`bulk_cpu_capacity_and_memory_backing` returns empty vectors for
+  empty account sequences (zero-server clusters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.resources import ALL_RESOURCES, Resource
+from repro.core.scheduler import (
+    ClusterLedger,
+    ClusterScheduler,
+    ServerAccount,
+    bulk_cpu_capacity_and_memory_backing,
+    plan_demand_matrix,
+)
+from repro.core.windows import plan_vm
+from repro.prediction.utilization_model import WindowUtilizationPrediction
+from repro.trace.hardware import HARDWARE_GENERATIONS, ClusterConfig
+from repro.trace.timeseries import TimeWindowConfig
+
+WINDOWS = TimeWindowConfig(4)
+
+SMALL_CLUSTER = ClusterConfig(
+    "INC", "test",
+    (("gen4-intel", 6), ("gen5-intel", 5), ("gen6-amd", 5), ("gen7-amd", 4)))
+
+#: A cluster tiny enough that a long plan stream saturates it, so the
+#: batch-vs-sequential comparison exercises rejection ordering too.
+TINY_CLUSTER = ClusterConfig("TINY", "test", (("gen4-intel", 3),))
+
+
+def _random_plan(rng, vm_id, *, windows=WINDOWS):
+    n = windows.windows_per_day
+    maximum = {r: rng.uniform(0.1, 1.0, n) for r in ALL_RESOURCES}
+    percentile = {r: np.minimum(maximum[r], rng.uniform(0.05, 0.9, n))
+                  for r in ALL_RESOURCES}
+    prediction = WindowUtilizationPrediction(
+        windows=windows, percentile=percentile, maximum=maximum)
+    cores = float(rng.choice([1, 2, 2, 4, 8]))
+    allocation = {Resource.CPU: cores,
+                  Resource.MEMORY: cores * float(rng.choice([2, 4, 8])),
+                  Resource.NETWORK: min(0.5 * cores, 16.0),
+                  Resource.SSD: 32.0 * cores}
+    return plan_vm(vm_id, allocation, prediction,
+                   oversubscribe=bool(rng.random() < 0.8))
+
+
+def _assert_caches_fresh(ledger: ClusterLedger) -> None:
+    """Every cache must equal a from-scratch reduction, bitwise."""
+    assert np.array_equal(ledger.demand_sum, ledger.demand.sum(axis=2))
+    assert np.array_equal(ledger.demand_peak, ledger.demand.max(axis=2))
+    assert np.array_equal(ledger.va_peak, ledger.va_demand.max(axis=1))
+    fresh_base = np.array([
+        (ledger.demand_sum[:, s] / ledger.n_windows)
+        @ ledger._inv_capacity[:, s]
+        for s in range(ledger.n_servers)])
+    assert np.array_equal(ledger.score_base, fresh_base)
+    for s in range(ledger.n_servers):
+        used = bool(ledger.demand[:, s].any() or ledger.pa_memory[s]
+                    or ledger.va_demand[s].any())
+        assert bool(ledger.row_used[s]) == used
+
+
+class TestIncrementalCacheChurn:
+    @pytest.mark.parametrize("seed", [0, 7, 2024])
+    def test_thousands_of_commit_release_cycles_leave_caches_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        scheduler = ClusterScheduler(SMALL_CLUSTER, WINDOWS)
+        dense = ClusterScheduler(SMALL_CLUSTER, WINDOWS, incremental=False)
+        placed: list = []
+        for i in range(3000):
+            plan = _random_plan(rng, f"vm-{i}")
+            decision = scheduler.place(plan)
+            assert dense.place(plan) == decision
+            if decision.accepted:
+                placed.append(plan.vm_id)
+            # ~40% deallocation churn keeps commit and release interleaved.
+            if placed and rng.random() < 0.4:
+                victim = placed.pop(int(rng.integers(len(placed))))
+                scheduler.deallocate(victim)
+                dense.deallocate(victim)
+        _assert_caches_fresh(scheduler.ledger)
+        # The incremental scores must equal a fresh full mean(axis=2) pass.
+        assert np.array_equal(scheduler.ledger.packing_scores(),
+                              dense.ledger.packing_scores())
+        assert np.array_equal(scheduler.ledger.demand, dense.ledger.demand)
+
+    def test_incremental_scores_match_dense_for_arbitrary_plans(self):
+        rng = np.random.default_rng(11)
+        scheduler = ClusterScheduler(SMALL_CLUSTER, WINDOWS)
+        for i in range(200):
+            scheduler.place(_random_plan(rng, f"vm-{i}"))
+        ledger = scheduler.ledger
+        probe = plan_demand_matrix(_random_plan(rng, "probe"))
+        approx_input = probe.mean(axis=1)
+        approx = ledger.approx_packing_scores(approx_input)
+        exact = ledger.packing_scores(probe)
+        # The approximation drives candidate screening only; it must stay
+        # within the tolerance band the gathered exact re-score relies on.
+        assert np.all(np.abs(approx - exact) < 1e-9)
+
+
+class TestBatchedPlacement:
+    @pytest.mark.parametrize("cluster", [SMALL_CLUSTER, TINY_CLUSTER],
+                             ids=["small", "saturating"])
+    def test_place_batch_equals_sequential_place(self, cluster):
+        rng = np.random.default_rng(3)
+        plans = [_random_plan(rng, f"vm-{i}") for i in range(400)]
+        sequential = ClusterScheduler(cluster, WINDOWS)
+        batched = ClusterScheduler(cluster, WINDOWS)
+        expected = [sequential.place(plan) for plan in plans]
+        actual = batched.place_batch(plans)
+        assert actual == expected
+        if cluster is TINY_CLUSTER:
+            # The saturating stream must genuinely exercise rejections.
+            assert any(not d.accepted for d in expected)
+        assert batched.accepted_count() == sequential.accepted_count()
+        assert batched.rejected_count() == sequential.rejected_count()
+        assert np.array_equal(batched.ledger.demand, sequential.ledger.demand)
+
+    def test_place_batch_equals_dense_reference(self):
+        rng = np.random.default_rng(5)
+        plans = [_random_plan(rng, f"vm-{i}") for i in range(300)]
+        dense = ClusterScheduler(SMALL_CLUSTER, WINDOWS, incremental=False)
+        batched = ClusterScheduler(SMALL_CLUSTER, WINDOWS)
+        assert batched.place_batch(plans) == [dense.place(p) for p in plans]
+
+    def test_empty_batch_is_a_noop(self):
+        scheduler = ClusterScheduler(SMALL_CLUSTER, WINDOWS)
+        assert scheduler.place_batch([]) == []
+        assert scheduler.accepted_count() == 0
+
+    def test_window_mismatch_fails_batch_before_any_commit(self):
+        scheduler = ClusterScheduler(SMALL_CLUSTER, WINDOWS)
+        rng = np.random.default_rng(9)
+        good = _random_plan(rng, "good")
+        bad = _random_plan(rng, "bad", windows=TimeWindowConfig(8))
+        with pytest.raises(ValueError, match="different time window"):
+            scheduler.place_batch([good, bad])
+        # Fail-fast validation: the good predecessor was not committed.
+        assert scheduler.accepted_count() == 0
+        assert scheduler.servers_in_use() == 0
+
+
+class TestOverReleaseAccounting:
+    def _account(self):
+        return ServerAccount("s0", HARDWARE_GENERATIONS["gen4-intel"], WINDOWS)
+
+    def test_double_release_raises_instead_of_clamping(self):
+        account = self._account()
+        rng = np.random.default_rng(1)
+        keep = _random_plan(rng, "keep")
+        victim = _random_plan(rng, "victim")
+        account.commit(keep)
+        account.commit(victim)
+        released = account.release("victim")
+        snapshot = account._ledger.demand.copy()
+        pa_snapshot = account._ledger.pa_memory.copy()
+        va_snapshot = account._ledger.va_demand.copy()
+        with pytest.raises(ValueError, match="already released"):
+            account._ledger.release_row(account._row, released)
+        # The failed release validated before mutating: the survivor's
+        # accounting is untouched, bitwise.
+        assert np.array_equal(account._ledger.demand, snapshot)
+        assert np.array_equal(account._ledger.pa_memory, pa_snapshot)
+        assert np.array_equal(account._ledger.va_demand, va_snapshot)
+
+    def test_releasing_never_committed_plan_raises(self):
+        account = self._account()
+        rng = np.random.default_rng(2)
+        account.commit(_random_plan(rng, "resident"))
+        stranger = _random_plan(rng, "stranger")
+        with pytest.raises(ValueError, match="not committed"):
+            account._ledger.release_row(account._row, stranger)
+
+    def test_failed_release_leaves_caches_in_sync(self):
+        account = self._account()
+        rng = np.random.default_rng(4)
+        account.commit(_random_plan(rng, "resident"))
+        with pytest.raises(ValueError):
+            account._ledger.release_row(account._row, _random_plan(rng, "x"))
+        _assert_caches_fresh(account._ledger)
+
+    def test_legitimate_float_drift_still_snaps_to_zero(self):
+        account = self._account()
+        rng = np.random.default_rng(6)
+        plans = [_random_plan(rng, f"vm-{i}") for i in range(20)]
+        for plan in plans:
+            account.commit(plan)
+        for plan in plans:
+            account.release(plan.vm_id)
+        assert account.is_empty()
+        assert not account._ledger.row_used[account._row]
+
+
+class TestBulkEmptyAccounts:
+    def test_empty_sequence_returns_empty_vectors(self):
+        capacity, backing = bulk_cpu_capacity_and_memory_backing([])
+        assert capacity.shape == (0,)
+        assert backing.shape == (0,)
+        assert capacity.dtype.kind == "f" and backing.dtype.kind == "f"
+
+    def test_zero_server_cluster_schedules_without_crashing(self):
+        cluster = ClusterConfig("EMPTY", "test", ())
+        scheduler = ClusterScheduler(cluster, WINDOWS)
+        capacity, backing = bulk_cpu_capacity_and_memory_backing(
+            scheduler._accounts)
+        assert capacity.shape == (0,) and backing.shape == (0,)
+        rng = np.random.default_rng(8)
+        decision = scheduler.place(_random_plan(rng, "vm-0"))
+        assert not decision.accepted
+        assert scheduler.place_batch([_random_plan(rng, "vm-1")]) \
+            == [scheduler.decisions[-1]]

@@ -299,6 +299,58 @@ class TestRep005DispatchTwin:
 
 
 # --------------------------------------------------------------------------- #
+# REP006: ledger direct writes
+# --------------------------------------------------------------------------- #
+class TestRep006LedgerWrite:
+    def test_flags_writes_outside_mutators(self):
+        findings = run("""
+            def rebalance(ledger, row):
+                ledger.demand[:, row, :] = 0.0
+                ledger.pa_memory[row] += 1.0
+                ledger.demand_sum = None
+        """)
+        assert [f.rule_id for f in findings] == ["REP006"] * 3
+        assert any("`.demand`" in f.message for f in findings)
+        assert any("`.pa_memory`" in f.message for f in findings)
+        assert any("`.demand_sum`" in f.message for f in findings)
+
+    def test_sanctioned_mutators_are_clean(self):
+        findings = run("""
+            class ClusterLedger:
+                def __init__(self):
+                    self.demand = None
+                    self.demand_sum = None
+
+                def commit_row(self, row):
+                    self.demand[:, row, :] += 1.0
+                    self._refresh_row_caches(row)
+
+                def release_row(self, row):
+                    self.va_demand[row] = 0.0
+
+                def _refresh_row_caches(self, row):
+                    self.demand_sum[:, row] = self.demand[:, row, :].sum(axis=1)
+                    self.va_peak[row] = self.va_demand[row].max()
+        """)
+        assert findings == []
+
+    def test_unrelated_attributes_are_clean(self):
+        findings = run("""
+            def tally(stats):
+                stats.requests += 1
+                stats.demand_curve = []
+        """)
+        assert findings == []
+
+    def test_test_modules_are_exempt(self):
+        findings = run("""
+            def test_corrupt(ledger):
+                ledger.demand[:] = -1.0
+        """, module="tests.test_sample")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
 # Baseline workflow
 # --------------------------------------------------------------------------- #
 class TestBaseline:
@@ -396,7 +448,8 @@ class TestCli:
     def test_list_rules_covers_catalog(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
+                        "REP006"):
             assert rule_id in out
 
 
@@ -425,6 +478,7 @@ class TestTreeClean:
         by_rule = {f.rule_id for f in findings}
         # REP002/REP003/REP004 have known, justified baselined findings.
         assert {"REP002", "REP003", "REP004"} <= by_rule
-        # REP001/REP005 must stay at zero findings tree-wide.
+        # REP001/REP005/REP006 must stay at zero findings tree-wide.
         assert "REP001" not in by_rule
         assert "REP005" not in by_rule
+        assert "REP006" not in by_rule

@@ -474,3 +474,53 @@ class TestMiscStore:
     def test_catalog_configs_deduplicated(self, store):
         assert len(store.configs) <= len(VM_CATALOG)
         assert len(set(store.configs)) == len(store.configs)
+
+
+class TestUtilizationMatrix:
+    """The scatter kernel vs the per-VM reference loop, bitwise."""
+
+    @pytest.mark.parametrize("resource", [Resource.CPU, Resource.MEMORY])
+    @pytest.mark.parametrize("absolute", [True, False])
+    def test_scatter_matches_reference_loop(self, tiny_trace, store_trace,
+                                            resource, absolute):
+        got = store_trace.utilization_matrix(resource, absolute=absolute)
+        expected = tiny_trace.utilization_matrix(resource, absolute=absolute)
+        assert got.shape == expected.shape
+        assert np.array_equal(got, expected)
+
+    def test_cluster_filter_matches_reference_loop(self, tiny_trace, store_trace):
+        cluster_id = tiny_trace.cluster_ids()[0]
+        got = store_trace.utilization_matrix(Resource.CPU, cluster_id=cluster_id)
+        expected = tiny_trace.utilization_matrix(Resource.CPU,
+                                                 cluster_id=cluster_id)
+        assert np.array_equal(got, expected)
+
+    def test_float32_backend_stays_bitwise(self, tiny_trace):
+        trace32 = TraceStore.from_trace(tiny_trace,
+                                        util_dtype=np.float32).as_trace()
+        got = trace32.utilization_matrix(Resource.CPU)
+        # The reference twin is the same trace without the store: both paths
+        # read the identical float32 samples, so the float64 output matrices
+        # must match bitwise (the NEP50 scale-cast contract).
+        expected = trace32.without_store().utilization_matrix(Resource.CPU)
+        assert np.array_equal(got, expected)
+
+    def test_aggregate_demand_matches_reference_loop(self, tiny_trace, store_trace):
+        for cluster_id in (None, tiny_trace.cluster_ids()[1]):
+            got = store_trace.aggregate_demand(Resource.MEMORY, cluster_id)
+            expected = tiny_trace.aggregate_demand(Resource.MEMORY, cluster_id)
+            assert np.array_equal(got, expected)
+
+    def test_truncated_horizon_clips_series(self, store):
+        # A horizon shorter than some series exercises the eff_len clipping.
+        n_slots = max(int(store.start_slot.min()) + 1, 2)
+        matrix = store.utilization_matrix(Resource.CPU, n_slots)
+        assert matrix.shape == (len(store), n_slots)
+        assert np.isfinite(matrix).all()
+
+    def test_row_subset_scatter(self, store, store_trace):
+        rows = np.arange(0, len(store), 3, dtype=np.intp)
+        got = store.utilization_matrix(Resource.CPU, store_trace.n_slots,
+                                       rows=rows)
+        full = store.utilization_matrix(Resource.CPU, store_trace.n_slots)
+        assert np.array_equal(got, full[rows])
