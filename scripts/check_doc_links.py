@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Check that relative markdown links in the repo's docs resolve.
+
+The docs cross-link aggressively (README -> docs/ -> examples/ -> tests),
+and a renamed file silently strands those links.  This checker walks every
+tracked ``*.md`` file, extracts the relative link targets, and fails if
+any of them points at a path that does not exist.
+
+Scope is deliberately narrow and stdlib-only so it can run anywhere the
+repo checks out:
+
+* only inline links ``[text](target)`` are checked;
+* ``http(s)://``, ``mailto:``, and pure-anchor ``#...`` targets are
+  skipped (no network, no heading parsing);
+* fenced code blocks and inline code spans are stripped first, so code
+  samples that merely *look* like links do not count;
+* a ``target#anchor`` suffix is dropped before the existence check.
+
+Run from anywhere: ``python scripts/check_doc_links.py``.  Exits 0 when
+every link resolves, 1 otherwise (one line per broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories never scanned for markdown files.
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".ruff_cache",
+             "node_modules", ".venv", "venv"}
+
+_FENCE = re.compile(r"^(```|~~~)")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+#: ``[text](target)`` with no nesting; images ``![alt](target)`` match too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """Every ``*.md`` under *root*, skipping vendored/cache directories."""
+    found = []
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & SKIP_DIRS:
+            continue
+        found.append(path)
+    return found
+
+
+def iter_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for each inline link in *text*.
+
+    Fenced code blocks and inline code spans are removed before matching.
+    """
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(_INLINE_CODE.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def broken_links(md_file: Path, root: Path = REPO_ROOT) -> List[str]:
+    """Human-readable description of every unresolvable link in *md_file*."""
+    problems = []
+    for lineno, target in iter_links(md_file.read_text(encoding="utf-8")):
+        if _EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            rel = md_file.relative_to(root)
+            problems.append(f"{rel}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(root: Path = REPO_ROOT) -> int:
+    files = markdown_files(root)
+    problems = [p for md_file in files for p in broken_links(md_file, root)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ from repro.simulator.benchmarking import (
     measure_mmap_bounded_replay,
     measure_replay_memory,
     measure_scheduler_scaling,
+    measure_streaming_ingest,
     measure_sweep_serial_vs_pool,
     measure_sweep_task_footprint,
 )
@@ -72,6 +73,8 @@ from repro.simulator.synthetic import (
     build_replay_scale_state,
     generate_store_bench_trace,
     generate_sweep_bench_trace,
+    streaming_ingest_batch_vms,
+    streaming_ingest_config,
 )
 
 
@@ -143,6 +146,16 @@ def measure_trace_store(smoke: bool) -> dict:
     outcome = measure_sweep_task_footprint(trace)
     with tempfile.TemporaryDirectory() as workdir:
         outcome["mmap_replay"] = measure_mmap_bounded_replay(trace, workdir)
+    return outcome
+
+
+def measure_streaming(smoke: bool) -> dict:
+    """Bounded-memory ingest: streaming builder vs the eager from_trace path."""
+    config = streaming_ingest_config(smoke=smoke)
+    with tempfile.TemporaryDirectory() as workdir:
+        outcome = measure_streaming_ingest(
+            config, workdir, batch_vms=streaming_ingest_batch_vms(smoke=smoke))
+    outcome["ru_maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return outcome
 
 
@@ -233,6 +246,12 @@ def print_summary(record: dict) -> None:
     buffer_mb = mmap_replay["buffer_nbytes"] / 1e6
     print(f"  mmap       peak {mmap_mb:.1f} MB (budget {budget_mb:.1f} MB", end="")
     print(f", buffer {buffer_mb:.1f} MB, {mmap_replay['peak_reduction']:.1f}x vs in-RAM)")
+    ingest = record["streaming_ingest"]
+    stream_mb = ingest["stream_peak_bytes"] / 1e6
+    eager_mb = ingest["eager_peak_bytes"] / 1e6
+    print(f"  ingest     peak {stream_mb:.1f} MB streaming vs {eager_mb:.1f} MB"
+          f" eager ({ingest['peak_reduction']:.1f}x, "
+          f"{ingest['vms_per_second']:.0f} VMs/s, bitwise identical)")
     characterization = record["characterization"]
     print(f"  character. columnar {characterization['columnar_seconds']:.2f}s"
           f" vs reference {characterization['reference_seconds']:.2f}s", end="")
@@ -273,6 +292,7 @@ def main(argv: list | None = None) -> int:
         "sweep": measure_sweep(smoke),
         "chunked_replay": measure_chunked_replay(smoke),
         "trace_store": measure_trace_store(smoke),
+        "streaming_ingest": measure_streaming(smoke),
         "characterization": measure_characterization(smoke),
         "static_analysis": measure_static_analysis(),
     }

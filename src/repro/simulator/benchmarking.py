@@ -12,6 +12,7 @@ for the same one.
 from __future__ import annotations
 
 import dataclasses
+import filecmp
 import os
 import pickle
 import time
@@ -27,6 +28,7 @@ from repro.core.scheduler import ServerAccount
 from repro.simulator.engine import SimulationConfig, simulate_policy
 from repro.simulator.replay import VectorizedViolationMeter, chunk_slots_for_budget
 from repro.simulator.sweep import SweepTask, sweep_policies
+from repro.trace.generator import TraceGenerator, TraceGeneratorConfig
 from repro.trace.store import TraceStore
 from repro.trace.trace import Trace
 from repro.trace.vm import VMRecord
@@ -397,6 +399,86 @@ def measure_sweep_task_footprint(trace: Trace,
         "footprint_reduction": len(pickled_task) / max(1, len(shared_task)),
         "unpickle_seconds": unpickle_seconds,
         "attach_seconds": attach_seconds,
+    }
+
+
+def assert_store_dirs_identical(reference, candidate) -> None:
+    """Byte-compare two on-disk trace stores, file by file.
+
+    The builder's differential contract at benchmark scale: same file set,
+    same bytes.  ``filecmp.cmp(shallow=False)`` streams fixed-size blocks,
+    so the comparison itself never loads a telemetry buffer into RAM.
+    Raises ``AssertionError`` naming the first divergence.
+    """
+    reference = Path(reference)
+    candidate = Path(candidate)
+    ref_names = sorted(p.name for p in reference.iterdir())
+    cand_names = sorted(p.name for p in candidate.iterdir())
+    if ref_names != cand_names:
+        raise AssertionError(
+            f"store file sets differ: {ref_names} vs {cand_names}")
+    for name in ref_names:
+        if not filecmp.cmp(reference / name, candidate / name, shallow=False):
+            raise AssertionError(f"store file {name} differs byte-wise")
+
+
+def measure_streaming_ingest(config: TraceGeneratorConfig, workdir,
+                             *, batch_vms: int) -> Dict[str, object]:
+    """Peak ingest memory: streaming builder vs the eager from_trace path.
+
+    Runs the same generator configuration twice from the same seed: once
+    through ``generate_to_store`` (at most *batch_vms* VM records alive,
+    telemetry appended straight to disk) and once through the eager shape
+    (``generate()`` materializing every record, then
+    ``TraceStore.from_trace(...).save(...)`` concatenating the full flat
+    buffers), each under tracemalloc.  Asserts the two stores are
+    byte-identical and that the streaming one opens via
+    ``TraceStore.open(mmap=True)`` -- the correctness half of the claim --
+    then reports the peak-memory ratio and ingest rate, the numbers
+    ``BENCH_<date>.json`` tracks.
+    """
+    workdir = Path(workdir)
+    stream_path = workdir / "stream-store"
+    eager_path = workdir / "eager-store"
+
+    tracemalloc.start()
+    begin = time.perf_counter()
+    TraceGenerator(config).generate_to_store(stream_path, batch_vms=batch_vms)
+    stream_seconds = time.perf_counter() - begin
+    _current, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    begin = time.perf_counter()
+    trace = TraceGenerator(config).generate()
+    TraceStore.from_trace(trace).save(eager_path)
+    eager_seconds = time.perf_counter() - begin
+    _current, eager_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del trace
+
+    assert_store_dirs_identical(eager_path, stream_path)
+    opened = TraceStore.open(stream_path, mmap=True)
+    if len(opened) != config.n_vms:
+        raise AssertionError(
+            f"streamed store holds {len(opened)} VMs, expected {config.n_vms}")
+    n_samples = int(opened.offsets[-1])
+    store_bytes = sum(p.stat().st_size for p in stream_path.iterdir())
+    return {
+        "n_vms": config.n_vms,
+        "n_days": config.n_days,
+        "n_slots": config.n_slots,
+        "n_samples": n_samples,
+        "batch_vms": batch_vms,
+        "store_bytes": store_bytes,
+        "stream_seconds": stream_seconds,
+        "stream_peak_bytes": stream_peak,
+        "eager_seconds": eager_seconds,
+        "eager_peak_bytes": eager_peak,
+        "peak_reduction": eager_peak / max(1, stream_peak),
+        "vms_per_second": config.n_vms / stream_seconds,
+        "samples_per_second": n_samples / stream_seconds,
+        "bitwise_identical": True,
     }
 
 

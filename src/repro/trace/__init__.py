@@ -1,6 +1,12 @@
 """Trace substrate: VM records, hardware, temporal patterns, and generation."""
 
-from repro.trace.generator import TraceGenerator, TraceGeneratorConfig, generate_trace, small_trace
+from repro.trace.generator import (
+    TraceGenerator,
+    TraceGeneratorConfig,
+    generate_trace,
+    generate_trace_to_store,
+    small_trace,
+)
 from repro.trace.hardware import ClusterConfig, Fleet, HARDWARE_GENERATIONS, ServerConfig, default_clusters
 from repro.trace.patterns import ARCHETYPES, PatternParameters, SubscriptionProfile
 from repro.trace.timeseries import (
@@ -14,7 +20,7 @@ from repro.trace.timeseries import (
     slots_for_days,
     slots_for_hours,
 )
-from repro.trace.store import SharedTraceHandle, TraceStore
+from repro.trace.store import SharedTraceHandle, TraceStore, TraceStoreBuilder
 from repro.trace.trace import Trace, merge_traces
 from repro.trace.vm import (
     TYPICAL_VM_CONFIG,
@@ -48,6 +54,7 @@ __all__ = [
     "Trace",
     "TraceGenerator",
     "TraceStore",
+    "TraceStoreBuilder",
     "TraceGeneratorConfig",
     "UtilizationSeries",
     "VMConfig",
@@ -55,6 +62,7 @@ __all__ = [
     "VM_CATALOG",
     "default_clusters",
     "generate_trace",
+    "generate_trace_to_store",
     "merge_traces",
     "slots_for_days",
     "slots_for_hours",

@@ -21,6 +21,7 @@ synthetic trace with the same *statistical structure* (see DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -188,58 +189,82 @@ class TraceGenerator:
         return min(slot, latest)
 
     # ------------------------------------------------------------------ #
-    # Main entry point
+    # Main entry points
     # ------------------------------------------------------------------ #
-    def generate(self) -> Trace:
+    def _population(self) -> tuple[Fleet,
+                                   Dict[str, tuple[Subscription, SubscriptionProfile,
+                                                   List[str]]],
+                                   Dict[str, List[str]]]:
+        """The trace-wide state drawn *before* the per-VM loop.
+
+        Both :meth:`generate` and :meth:`generate_to_store` consume the RNG
+        here first and then call :meth:`_sample_vm` once per index, so the
+        two paths draw the identical random stream and produce the same VMs.
+        """
         cfg = self.config
         rng = self._rng
         fleet = Fleet(clusters=default_clusters(cfg.servers_per_cluster))
 
         subscriptions = self._make_subscriptions()
-        sub_ids = list(subscriptions)
         cluster_ids = fleet.cluster_ids()
         cluster_probs = np.array(fleet.arrival_weights())
         cluster_probs = cluster_probs / cluster_probs.sum()
 
         # Subscriptions are sticky to a handful of clusters.
         sub_clusters: Dict[str, List[str]] = {}
-        for sub_id in sub_ids:
+        for sub_id in subscriptions:
             count = int(rng.integers(1, 4))
             sub_clusters[sub_id] = list(rng.choice(cluster_ids, size=count, replace=False,
                                                    p=cluster_probs))
+        return fleet, subscriptions, sub_clusters
 
-        vms: List[VMRecord] = []
-        for index in range(cfg.n_vms):
-            sub_id = str(rng.choice(sub_ids))
-            subscription, profile, preferred = subscriptions[sub_id]
-            long_running = rng.random() < cfg.long_running_fraction
-            duration = self._sample_duration_slots(long_running)
-            start = self._sample_start_slot(duration)
-            end = min(start + duration, cfg.n_slots)
-            config = self._sample_config(long_running, preferred)
-            cluster_id = str(rng.choice(sub_clusters[sub_id]))
+    def _sample_vm(self, index: int, sub_ids: List[str],
+                   subscriptions: Dict[str, tuple[Subscription, SubscriptionProfile,
+                                                  List[str]]],
+                   sub_clusters: Dict[str, List[str]]) -> VMRecord:
+        """Draw one VM (the body of the per-VM loop; RNG order is the spec)."""
+        cfg = self.config
+        rng = self._rng
+        sub_id = str(rng.choice(sub_ids))
+        subscription, profile, preferred = subscriptions[sub_id]
+        long_running = rng.random() < cfg.long_running_fraction
+        duration = self._sample_duration_slots(long_running)
+        start = self._sample_start_slot(duration)
+        end = min(start + duration, cfg.n_slots)
+        config = self._sample_config(long_running, preferred)
+        cluster_id = str(rng.choice(sub_clusters[sub_id]))
 
-            # Large VMs tend to be somewhat better utilized.
-            config_scale = 1.0 + 0.1 * np.log2(max(config.cores, 1)) / 5.0
-            cpu_params = vm_cpu_parameters(profile, rng, config_scale=config_scale)
-            per_resource = generate_resource_patterns(cpu_params, rng)
+        # Large VMs tend to be somewhat better utilized.
+        config_scale = 1.0 + 0.1 * np.log2(max(config.cores, 1)) / 5.0
+        cpu_params = vm_cpu_parameters(profile, rng, config_scale=config_scale)
+        per_resource = generate_resource_patterns(cpu_params, rng)
 
-            utilization = {}
-            for resource, params in per_resource.items():
-                values = generate_series(params, end - start, start, rng)
-                utilization[resource] = UtilizationSeries(values, start_slot=start)
+        utilization = {}
+        for resource, params in per_resource.items():
+            values = generate_series(params, end - start, start, rng)
+            utilization[resource] = UtilizationSeries(values, start_slot=start)
 
-            vms.append(VMRecord(
-                vm_id=f"vm-{index:06d}",
-                subscription_id=sub_id,
-                config=config,
-                cluster_id=cluster_id,
-                start_slot=start,
-                end_slot=end,
-                offering=subscription.offering,
-                subscription_type=subscription.subscription_type,
-                utilization=utilization,
-            ))
+        return VMRecord(
+            vm_id=f"vm-{index:06d}",
+            subscription_id=sub_id,
+            config=config,
+            cluster_id=cluster_id,
+            start_slot=start,
+            end_slot=end,
+            offering=subscription.offering,
+            subscription_type=subscription.subscription_type,
+            utilization=utilization,
+        )
+
+    def generate(self) -> Trace:
+        cfg = self.config
+        fleet, subscriptions, sub_clusters = self._population()
+        sub_ids = list(subscriptions)
+
+        vms: List[VMRecord] = [
+            self._sample_vm(index, sub_ids, subscriptions, sub_clusters)
+            for index in range(cfg.n_vms)
+        ]
 
         trace = Trace(
             vms=vms,
@@ -250,12 +275,82 @@ class TraceGenerator:
         trace.validate()
         return trace
 
+    def generate_to_store(self, path, *, batch_vms: int = 1024,
+                          util_dtype=None) -> Path:
+        """Generate straight into an on-disk :class:`TraceStore` layout.
+
+        The eager path (``generate()`` then ``TraceStore.from_trace(...)
+        .save(...)``) holds every :class:`VMRecord` and the concatenated
+        telemetry buffers in RAM at once; this path streams VMs through a
+        :class:`~repro.trace.store.TraceStoreBuilder` in batches of at most
+        *batch_vms* records, so peak memory is bounded by the batch --
+        month-scale / million-VM traces ingest under a fixed budget.
+
+        Exactness: both paths consume the identical RNG stream
+        (``_population`` then ``_sample_vm`` per index), and the builder is
+        byte-identical to ``from_trace + save`` for any chunking, so the
+        store written here equals the eager store bit for bit regardless of
+        *batch_vms* -- ``tests/test_trace_store_builder.py`` pins this.
+
+        Returns *path*; open the result with ``TraceStore.open(path,
+        mmap=True)``.
+        """
+        # Local import: repro.trace.store imports Trace from this package's
+        # sibling module, and the generator is importable without the store.
+        from repro.trace.store import TraceStoreBuilder
+
+        if batch_vms < 1:
+            raise ValueError(f"batch_vms must be >= 1, got {batch_vms}")
+        cfg = self.config
+        fleet, subscriptions, sub_clusters = self._population()
+        sub_ids = list(subscriptions)
+        known_clusters = set(fleet.cluster_ids())
+
+        with TraceStoreBuilder(
+                path, fleet=fleet, n_slots=cfg.n_slots,
+                subscriptions={sid: sub for sid, (sub, _p, _c)
+                               in subscriptions.items()},
+                util_dtype=util_dtype) as builder:
+            batch: List[VMRecord] = []
+            for index in range(cfg.n_vms):
+                vm = self._sample_vm(index, sub_ids, subscriptions, sub_clusters)
+                # Per-VM twin of Trace.validate() (the whole trace never
+                # exists here): record invariants, horizon, known cluster.
+                vm.validate()
+                if vm.end_slot > cfg.n_slots:
+                    raise ValueError(
+                        f"VM {vm.vm_id} ends at slot {vm.end_slot}, beyond "
+                        f"the {cfg.n_slots}-slot horizon")
+                if vm.cluster_id not in known_clusters:
+                    raise ValueError(
+                        f"VM {vm.vm_id} references unknown cluster "
+                        f"{vm.cluster_id!r}")
+                batch.append(vm)
+                if len(batch) >= batch_vms:
+                    builder.append_many(batch)
+                    batch = []
+            builder.append_many(batch)
+        return Path(path)
+
 
 def generate_trace(n_vms: int = 2000, n_days: int = 14, seed: int = 2024,
                    **kwargs: object) -> Trace:
     """Convenience wrapper: generate a trace with the default configuration."""
     config = TraceGeneratorConfig(n_vms=n_vms, n_days=n_days, seed=seed, **kwargs)  # type: ignore[arg-type]
     return TraceGenerator(config).generate()
+
+
+def generate_trace_to_store(path, n_vms: int = 2000, n_days: int = 14,
+                            seed: int = 2024, batch_vms: int = 1024,
+                            **kwargs: object) -> Path:
+    """Convenience wrapper: stream a generated trace straight to disk.
+
+    Byte-identical to ``TraceStore.from_trace(generate_trace(...)).save(path)``
+    for the same parameters, but holds at most *batch_vms* VM records in
+    memory at a time.
+    """
+    config = TraceGeneratorConfig(n_vms=n_vms, n_days=n_days, seed=seed, **kwargs)  # type: ignore[arg-type]
+    return TraceGenerator(config).generate_to_store(path, batch_vms=batch_vms)
 
 
 def small_trace(seed: int = 7) -> Trace:

@@ -36,6 +36,14 @@ Two backends sit on top of the columns:
   only the slot-chunk it is accumulating -- a trace whose telemetry exceeds
   RAM stays replayable end to end.
 
+The write side has a streaming counterpart: :class:`TraceStoreBuilder`
+appends VM metadata rows and telemetry chunks directly to the on-disk
+layout, so a trace larger than RAM can be *ingested* without ever holding
+an object trace (or the flat buffers) in memory.  Builder output is
+byte-identical to ``from_trace(...).save(...)`` for any append chunking --
+both paths share the deterministic writers below -- so ``open(mmap=True)``
+reads it unchanged.
+
 Exactness contract
 ------------------
 ``from_trace`` preserves the source dtype by default (float64 for generated
@@ -51,11 +59,15 @@ shared-memory fan-out at a documented precision cost; both paths over the
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import shutil
+import zipfile
 from dataclasses import asdict
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -275,6 +287,61 @@ _COLUMNS_FILE = "columns.npz"
 #: reordering of the enums cannot silently re-label old stores).
 _OFFERING_VALUES: Tuple[str, ...] = tuple(o.value for o in Offering)
 _SUBTYPE_VALUES: Tuple[str, ...] = tuple(t.value for t in SubscriptionType)
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic on-disk writers
+#
+# ``TraceStore.save`` and ``TraceStoreBuilder.finalize`` must emit
+# byte-identical files for equal contents (the builder's differential
+# contract), so both go through the helpers below instead of ``np.savez``,
+# whose zip members carry wall-clock timestamps.
+# --------------------------------------------------------------------------- #
+def _write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """``np.savez`` with deterministic bytes.
+
+    Members are stored uncompressed in insertion order with a fixed zip
+    timestamp (the DOS epoch), so two writes of equal arrays produce equal
+    files.  ``np.load`` reads the result exactly like an ``np.savez`` file.
+    """
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED, allowZip64=True) as archive:
+        for name, array in arrays.items():
+            member = io.BytesIO()
+            np.lib.format.write_array(member, np.asarray(array))
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=(1980, 1, 1, 0, 0, 0))
+            archive.writestr(info, member.getvalue())
+
+
+def _npy_header_bytes(dtype: np.dtype, n_samples: int) -> bytes:
+    """The exact ``.npy`` v1.0 header ``np.save`` writes for a flat array."""
+    header = io.BytesIO()
+    np.lib.format.write_array_header_1_0(header, {
+        "descr": np.lib.format.dtype_to_descr(np.dtype(dtype)),
+        "fortran_order": False,
+        "shape": (int(n_samples),),
+    })
+    return header.getvalue()
+
+
+def _meta_jsonable(*, n_vms: int, n_slots: int, util_dtype: np.dtype,
+                   resources: Sequence[Resource], cluster_ids: Sequence[str],
+                   configs: Sequence[VMConfig], fleet: Fleet,
+                   subscriptions: Dict[str, Subscription]) -> Dict[str, object]:
+    """The ``meta.json`` payload, shared by ``save`` and the builder."""
+    return {
+        "format_version": STORE_FORMAT_VERSION,
+        "n_vms": int(n_vms),
+        "n_slots": int(n_slots),
+        "util_dtype": np.dtype(util_dtype).str,
+        "resources": [r.value for r in resources],
+        "offering_values": list(_OFFERING_VALUES),
+        "subscription_type_values": list(_SUBTYPE_VALUES),
+        "cluster_ids": list(cluster_ids),
+        "configs": [asdict(cfg) for cfg in configs],
+        "fleet": _fleet_to_jsonable(fleet),
+        "subscriptions": [_subscription_to_jsonable(sub)
+                          for sub in subscriptions.values()],
+    }
 
 
 class SharedTraceHandle:
@@ -842,40 +909,30 @@ class TraceStore:
         store = self.compact()
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
-        meta = {
-            "format_version": STORE_FORMAT_VERSION,
-            "n_vms": len(store),
-            "n_slots": store.n_slots,
-            "util_dtype": store.util_dtype.str,
-            "resources": [r.value for r in store.resources],
-            "offering_values": list(_OFFERING_VALUES),
-            "subscription_type_values": list(_SUBTYPE_VALUES),
-            "cluster_ids": list(store.cluster_ids),
-            "configs": [asdict(cfg) for cfg in store.configs],
-            "fleet": _fleet_to_jsonable(store.fleet),
-            "subscriptions": [_subscription_to_jsonable(sub)
-                              for sub in store.subscriptions.values()],
-        }
+        meta = _meta_jsonable(
+            n_vms=len(store), n_slots=store.n_slots,
+            util_dtype=store.util_dtype, resources=store.resources,
+            cluster_ids=store.cluster_ids, configs=store.configs,
+            fleet=store.fleet, subscriptions=store.subscriptions)
         (path / _META_FILE).write_text(json.dumps(meta, indent=2) + "\n")
-        np.savez(
-            path / _COLUMNS_FILE,
-            vm_ids=np.asarray(store.vm_ids.tolist(), dtype=np.str_),
-            subscription_ids=np.asarray(store.subscription_ids.tolist(),
-                                        dtype=np.str_),
-            server_ids=np.asarray(
+        _write_npz(path / _COLUMNS_FILE, {
+            "vm_ids": np.asarray(store.vm_ids.tolist(), dtype=np.str_),
+            "subscription_ids": np.asarray(store.subscription_ids.tolist(),
+                                           dtype=np.str_),
+            "server_ids": np.asarray(
                 [sid if sid is not None else "" for sid in store.server_ids],
                 dtype=np.str_),
-            has_server_id=np.asarray(
+            "has_server_id": np.asarray(
                 [sid is not None for sid in store.server_ids], dtype=bool),
-            config_index=store.config_index,
-            cluster_index=store.cluster_index,
-            start_slot=store.start_slot,
-            end_slot=store.end_slot,
-            offering_code=store.offering_code,
-            subtype_code=store.subtype_code,
-            series_start=store.series_start,
-            offsets=store.offsets,
-        )
+            "config_index": store.config_index,
+            "cluster_index": store.cluster_index,
+            "start_slot": store.start_slot,
+            "end_slot": store.end_slot,
+            "offering_code": store.offering_code,
+            "subtype_code": store.subtype_code,
+            "series_start": store.series_start,
+            "offsets": store.offsets,
+        })
         for resource, buffer in store.util.items():
             np.save(path / f"util_{resource.value}.npy", buffer)
         return path
@@ -996,6 +1053,299 @@ class TraceStore:
     def _from_state(cls, state: Dict[str, object],
                     util: Dict[Resource, np.ndarray]) -> "TraceStore":
         return cls(util=util, contiguous=True, **state)  # type: ignore[arg-type]
+
+
+class _GrowableColumn:
+    """An append-only numpy column with amortized-doubling growth."""
+
+    def __init__(self, dtype):
+        self._data = np.empty(16, dtype=dtype)
+        self._size = 0
+
+    def append(self, value) -> None:
+        if self._size == self._data.size:
+            grown = np.empty(2 * self._data.size, dtype=self._data.dtype)
+            grown[:self._size] = self._data[:self._size]
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._data[:self._size]
+
+
+class TraceStoreBuilder:
+    """Stream VM records straight into the on-disk :class:`TraceStore` layout.
+
+    ``from_trace(...).save(...)`` needs the whole object trace (and the
+    concatenated flat buffers) in RAM at once; the builder needs only the
+    per-VM metadata columns (a few bytes per VM) plus the one record being
+    appended -- telemetry goes to the ``util_<resource>.npy`` buffers as it
+    arrives, so month-scale traces ingest under a fixed memory budget.
+
+    Byte-identity contract: for any append chunking, ``finalize()`` produces
+    exactly the files ``TraceStore.from_trace(trace).save(path)`` would --
+    same ``meta.json``, same ``columns.npz``, same raw buffers -- because
+    both paths share :func:`_meta_jsonable` / :func:`_write_npz` and the
+    ``.npy`` writer below patches the very header ``np.save`` emits.
+    ``tests/test_trace_store_builder.py`` pins this differentially.
+
+    Usage::
+
+        with TraceStoreBuilder(path, fleet=fleet, n_slots=n_slots,
+                               subscriptions=subs) as builder:
+            for vm in vm_source():        # any bounded-memory iterator
+                builder.append(vm)
+        store = TraceStore.open(path, mmap=True)
+
+    The context manager finalizes on clean exit and aborts (removing the
+    partial staging directory) if the body raises.  Files are staged in a
+    ``<path>.building`` sibling and moved into *path* only at the end, so a
+    crashed ingest never leaves a half-written store behind at *path*.
+
+    Streaming restrictions (vs ``from_trace``): the resource set and buffer
+    dtypes are fixed by the first appended VM, and with ``util_dtype=None``
+    every later VM must match the first VM's telemetry dtype exactly --
+    the eager path would silently promote mixed dtypes at concatenation
+    time, which a streaming writer cannot reproduce after the fact.
+    """
+
+    def __init__(self, path, *, fleet: Fleet, n_slots: int,
+                 subscriptions: Optional[Dict[str, Subscription]] = None,
+                 util_dtype: Optional[np.dtype] = None):
+        self._path = Path(path)
+        self._staging = self._path.parent / (self._path.name + ".building")
+        if self._staging.exists():
+            shutil.rmtree(self._staging)
+        self._staging.mkdir(parents=True)
+        self._fleet = fleet
+        self._n_slots = int(n_slots)
+        self._subscriptions: Dict[str, Subscription] = \
+            dict(subscriptions) if subscriptions else {}
+        self._util_dtype = None if util_dtype is None else np.dtype(util_dtype)
+        # Discovered from the first appended VM (from_trace reads vms[0]).
+        self._resources: Optional[Tuple[Resource, ...]] = None
+        self._buffer_dtypes: Dict[Resource, np.dtype] = {}
+        self._files: Dict[Resource, BinaryIO] = {}
+        self._header_sizes: Dict[Resource, int] = {}
+        self._n_samples = 0
+        self._vm_ids: List[str] = []
+        self._seen_ids: set = set()
+        self._subscription_ids: List[str] = []
+        self._server_ids: List[Optional[str]] = []
+        self._config_table: Dict[VMConfig, int] = {}
+        self._configs: List[VMConfig] = []
+        self._cluster_ids: List[str] = list(fleet.cluster_ids())
+        self._cluster_table = {cid: i for i, cid in enumerate(self._cluster_ids)}
+        self._config_index = _GrowableColumn(np.int32)
+        self._cluster_index = _GrowableColumn(np.int32)
+        self._start_slot = _GrowableColumn(np.int64)
+        self._end_slot = _GrowableColumn(np.int64)
+        self._offering_code = _GrowableColumn(np.int8)
+        self._subtype_code = _GrowableColumn(np.int8)
+        self._series_start = _GrowableColumn(np.int64)
+        self._row_length = _GrowableColumn(np.int64)
+        self._offering_codes = {v: i for i, v in enumerate(_OFFERING_VALUES)}
+        self._subtype_codes = {v: i for i, v in enumerate(_SUBTYPE_VALUES)}
+        self._closed = False
+
+    @property
+    def n_vms(self) -> int:
+        return len(self._vm_ids)
+
+    @property
+    def n_samples(self) -> int:
+        """Telemetry samples written so far (per resource)."""
+        return self._n_samples
+
+    def _open_buffers(self, vm: VMRecord) -> None:
+        present = set(vm.utilization)
+        self._resources = tuple(r for r in ALL_RESOURCES if r in present)
+        for resource in self._resources:
+            if self._util_dtype is not None:
+                dtype = self._util_dtype
+            else:
+                dtype = np.dtype(vm.utilization[resource].values.dtype)
+            self._buffer_dtypes[resource] = dtype
+            handle = (self._staging / f"util_{resource.value}.npy").open("wb")
+            self._files[resource] = handle
+            # Placeholder header for shape (0,); patched in finalize() once
+            # the sample count is known.  The header is padded to a fixed
+            # 64-byte alignment, so the patched header almost always has the
+            # same length (asserted there, with a rewrite fallback).
+            header = _npy_header_bytes(dtype, 0)
+            self._header_sizes[resource] = len(header)
+            handle.write(header)
+
+    def append(self, vm: VMRecord) -> None:
+        """Append one VM's metadata row and telemetry samples.
+
+        Mirrors ``from_trace`` validation exactly: uniform resource set
+        across VMs, equal per-VM series coverage, unique VM ids.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "TraceStoreBuilder is already finalized/aborted; "
+                "create a new builder to write another store")
+        if vm.vm_id in self._seen_ids:
+            raise ValueError(f"duplicate VM id {vm.vm_id!r} in trace store")
+        if self._resources is None:
+            self._open_buffers(vm)
+        resources = self._resources
+        if set(vm.utilization) != set(resources):
+            raise ValueError(
+                f"VM {vm.vm_id} carries telemetry for "
+                f"{sorted(r.value for r in vm.utilization)}, expected "
+                f"{sorted(r.value for r in resources)}: a columnar store "
+                f"needs a uniform resource set")
+        self._vm_ids.append(vm.vm_id)
+        self._seen_ids.add(vm.vm_id)
+        self._subscription_ids.append(vm.subscription_id)
+        self._server_ids.append(vm.server_id)
+        config = vm.config
+        index = self._config_table.get(config)
+        if index is None:
+            index = self._config_table[config] = len(self._configs)
+            self._configs.append(config)
+        self._config_index.append(index)
+        cluster = self._cluster_table.get(vm.cluster_id)
+        if cluster is None:
+            cluster = self._cluster_table[vm.cluster_id] = len(self._cluster_ids)
+            self._cluster_ids.append(vm.cluster_id)
+        self._cluster_index.append(cluster)
+        self._start_slot.append(vm.start_slot)
+        self._end_slot.append(vm.end_slot)
+        self._offering_code.append(self._offering_codes[vm.offering.value])
+        self._subtype_code.append(self._subtype_codes[vm.subscription_type.value])
+        first = None
+        for resource in resources:
+            series = vm.utilization[resource]
+            if first is None:
+                first = series
+                self._series_start.append(series.start_slot)
+                self._row_length.append(len(series))
+            elif (series.start_slot != first.start_slot
+                  or len(series) != len(first)):
+                raise ValueError(
+                    f"VM {vm.vm_id}: {resource.value} series covers "
+                    f"[{series.start_slot}, {series.start_slot + len(series)}) "
+                    f"but {resources[0].value} covers "
+                    f"[{first.start_slot}, {first.start_slot + len(first)}); "
+                    f"a single offsets array needs equal coverage")
+            values = series.values
+            dtype = self._buffer_dtypes[resource]
+            if self._util_dtype is not None:
+                values = values.astype(dtype, copy=False)
+            elif values.dtype != dtype:
+                raise ValueError(
+                    f"VM {vm.vm_id}: {resource.value} series has dtype "
+                    f"{values.dtype.str}, but this builder streams "
+                    f"{dtype.str} (fixed by the first appended VM); pass "
+                    f"util_dtype= to cast, or use TraceStore.from_trace "
+                    f"for mixed-dtype sources")
+            self._files[resource].write(values.tobytes())
+        if first is None:
+            self._series_start.append(0)
+            self._row_length.append(0)
+        else:
+            self._n_samples += len(first)
+
+    def append_many(self, vms: Sequence[VMRecord]) -> None:
+        """Append a batch of VMs (chunking never changes the output bytes)."""
+        for vm in vms:
+            self.append(vm)
+
+    def _rewrite_with_header(self, path: Path, header: bytes,
+                             old_header_size: int) -> None:
+        """Fallback when the final header outgrows the placeholder: stream
+        the samples into a fresh file behind the new header."""
+        temp = path.with_name(path.name + ".rewrite")
+        with path.open("rb") as src, temp.open("wb") as dst:
+            src.seek(old_header_size)
+            dst.write(header)
+            shutil.copyfileobj(src, dst, 1 << 20)
+        os.replace(temp, path)
+
+    def finalize(self) -> Path:
+        """Patch headers, write ``meta.json``/``columns.npz``, move the
+        staging directory's files into *path*, and return *path*."""
+        if self._closed:
+            raise RuntimeError(
+                "TraceStoreBuilder is already finalized/aborted; "
+                "create a new builder to write another store")
+        self._closed = True
+        resources = self._resources or ()
+        for resource in resources:
+            handle = self._files[resource]
+            header = _npy_header_bytes(self._buffer_dtypes[resource],
+                                       self._n_samples)
+            if len(header) == self._header_sizes[resource]:
+                handle.seek(0)
+                handle.write(header)
+                handle.close()
+            else:  # pragma: no cover - needs a >10^15-sample buffer
+                handle.close()
+                self._rewrite_with_header(
+                    self._staging / f"util_{resource.value}.npy", header,
+                    self._header_sizes[resource])
+        self._files = {}
+        n = len(self._vm_ids)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._row_length.values, out=offsets[1:])
+        if self._buffer_dtypes:
+            util_dtype = next(iter(self._buffer_dtypes.values()))
+        else:  # no telemetry: from_trace yields util={} -> float64 meta
+            util_dtype = np.dtype(np.float64)
+        meta = _meta_jsonable(
+            n_vms=n, n_slots=self._n_slots, util_dtype=util_dtype,
+            resources=resources, cluster_ids=self._cluster_ids,
+            configs=self._configs, fleet=self._fleet,
+            subscriptions=self._subscriptions)
+        (self._staging / _META_FILE).write_text(json.dumps(meta, indent=2) + "\n")
+        _write_npz(self._staging / _COLUMNS_FILE, {
+            "vm_ids": np.asarray(self._vm_ids, dtype=np.str_),
+            "subscription_ids": np.asarray(self._subscription_ids,
+                                           dtype=np.str_),
+            "server_ids": np.asarray(
+                [sid if sid is not None else "" for sid in self._server_ids],
+                dtype=np.str_),
+            "has_server_id": np.asarray(
+                [sid is not None for sid in self._server_ids], dtype=bool),
+            "config_index": self._config_index.values,
+            "cluster_index": self._cluster_index.values,
+            "start_slot": self._start_slot.values,
+            "end_slot": self._end_slot.values,
+            "offering_code": self._offering_code.values,
+            "subtype_code": self._subtype_code.values,
+            "series_start": self._series_start.values,
+            "offsets": offsets,
+        })
+        self._path.mkdir(parents=True, exist_ok=True)
+        for name in sorted(os.listdir(self._staging)):
+            os.replace(self._staging / name, self._path / name)
+        os.rmdir(self._staging)
+        return self._path
+
+    def abort(self) -> None:
+        """Discard the partial store; idempotent, never touches *path*."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._files.values():
+            handle.close()
+        self._files = {}
+        shutil.rmtree(self._staging, ignore_errors=True)
+
+    def __enter__(self) -> "TraceStoreBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.finalize()
+        return False
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,39 @@
+"""The docs link-checker: repo links resolve, and the checker itself works.
+
+``scripts/check_doc_links.py`` is stdlib-only and also runs as a CI lint
+step; this mirror in tier-1 keeps a broken cross-link from surviving a
+local ``pytest -x -q`` even when CI is not watching.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_doc_links  # noqa: E402
+
+
+def test_repo_markdown_links_resolve():
+    assert check_doc_links.main(REPO_ROOT) == 0
+
+
+def test_checker_scans_the_expected_files():
+    names = {p.relative_to(REPO_ROOT).as_posix()
+             for p in check_doc_links.markdown_files(REPO_ROOT)}
+    assert "README.md" in names
+    assert "docs/architecture.md" in names
+    assert "docs/trace_store.md" in names
+
+
+def test_checker_flags_a_broken_link(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "real.md").write_text("hello\n")
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/real.md) and [bad](docs/gone.md)\n"
+        "```\n[fenced](docs/fake.md)\n```\n"
+        "`[inline](docs/fake2.md)` code\n"
+        "[anchor](docs/real.md#section) [web](https://example.com)\n")
+    problems = check_doc_links.broken_links(tmp_path / "README.md", tmp_path)
+    assert problems == ["README.md:1: broken link -> docs/gone.md"]
+    assert check_doc_links.main(tmp_path) == 1
