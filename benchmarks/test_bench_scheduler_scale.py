@@ -6,10 +6,11 @@ Two measurements:
   cluster with the matrix-form :class:`ClusterScheduler` and compares
   plans/second against the seed per-server loop
   (:class:`ReferenceLoopScheduler`);
-* the scaling curve (PR 7) sweeps fleet sizes and compares the
-  incremental batched scheduler against the dense PR 6 baseline
-  (``incremental=False`` + sequential ``place``), asserting >=5x at the
-  largest size -- the regime the incremental caches exist for.
+* the scaling curve (PR 7, extended to 100k servers in PR 9) sweeps fleet
+  sizes and compares the incremental batched scheduler (tiered candidate
+  index + provable-run scatter commits) against the dense PR 6 baseline
+  (``incremental=False`` + sequential ``place``), asserting >=25x at the
+  largest size -- the regime the tiered index exists for.
 
 References are timed on a prefix of the same arrival sequence -- their
 per-plan cost is dominated by the full server scan, which is independent
@@ -77,16 +78,21 @@ def test_scheduler_scaling_curve(benchmark):
 
     print("\nScheduler scaling curve (incremental place_batch vs dense PR 6):")
     for point in result["curve"]:
+        extrapolated = (" (extrapolated from "
+                        f"{point['dense_prefix_plans']}-plan prefix)"
+                        if point["dense_extrapolated"] else "")
         print(f"  {point['n_servers']:6d} servers: "
               f"incremental {point['incremental_plans_per_s']:8.0f} plans/s, "
-              f"dense {point['dense_plans_per_s']:8.0f} plans/s, "
+              f"dense {point['dense_plans_per_s']:8.0f} plans/s{extrapolated}, "
               f"speedup {point['speedup']:6.2f}x "
-              f"({point['accepted']} accepted, {point['rejected']} rejected)")
+              f"({point['accepted']} accepted, {point['rejected']} rejected, "
+              f"peak RSS {point['ru_maxrss_kb']} kB)")
 
     # The harness already asserted decision equality on every prefix; the
-    # perf gate is the acceptance criterion: >=5x at the largest size.
+    # perf gate is the acceptance criterion: >=25x at the largest size --
+    # the 100k-server regime the tiered candidate index exists for.
     assert all(point["decisions_identical"] for point in result["curve"])
-    assert_perf(result["largest_speedup"] >= 5.0,
-                f"expected >=5x incremental speedup at "
+    assert_perf(result["largest_speedup"] >= 25.0,
+                f"expected >=25x incremental speedup at "
                 f"{result['largest_size']} servers, "
                 f"got {result['largest_speedup']:.1f}x")

@@ -3,11 +3,14 @@
 Two demonstrations back the PR-3 sweep subsystem:
 
 1. **Process-pool sweep speedup.**  The full standard-policy suite is swept
-   over a multi-week trace serially and with one worker process per policy
-   (``SimulationConfig.sweep_parallelism``).  The results must be bitwise
-   identical (hard assert); the speedup ratio is enforced only on machines
-   that can physically demonstrate it (>= ``MIN_SWEEP_CPUS`` cores) and is
-   relaxed to a warning under ``REPRO_BENCH_SMOKE=1``.
+   over a multi-week trace serially and twice on one long-lived worker
+   pool (``SimulationConfig.sweep_parallelism`` workers): once cold
+   (spawn + numpy imports on top of compute) and once warm (compute
+   only).  The results must be bitwise identical (hard assert); the
+   tracked speedup is serial vs *warm* -- spawn is a fixed per-pool cost
+   that repeat sweepers amortize away -- and the ratio is enforced only
+   on machines that can physically demonstrate it (>= ``MIN_SWEEP_CPUS``
+   cores), relaxed to a warning under ``REPRO_BENCH_SMOKE=1``.
 
 2. **Bounded-memory chunked replay.**  A multi-week replay state whose
    dense ``(n_servers, n_slots)`` matrix is >= 10x the chunk budget is
@@ -37,8 +40,9 @@ MIN_SWEEP_CPUS = 4
 def test_process_pool_sweep_speedup(benchmark):
     smoke = bench_smoke_enabled()
     trace = generate_sweep_bench_trace(smoke=smoke)
-    # The harness times serial and pool back to back and raises if the pool
-    # merge is not bitwise identical to the serial walk -- the differential
+    # The harness times serial, then the same pool twice (cold: spawn +
+    # imports + compute; warm: compute only), raising if either pool merge
+    # is not bitwise identical to the serial walk -- the differential
     # check at scale.  It always uses >= 2 workers, so the
     # ProcessPoolExecutor path is exercised even on single-CPU machines.
     outcome = run_once(benchmark, measure_sweep_serial_vs_pool, trace)
@@ -49,12 +53,14 @@ def test_process_pool_sweep_speedup(benchmark):
     print(f"\nSweep scale ({len(outcome['policies'])} policies, "
           f"{outcome['n_clusters']} clusters, {trace.n_slots} slots, "
           f"{n_workers} workers):")
-    print(f"  serial {outcome['serial_seconds']:7.2f} s")
-    print(f"  pooled {outcome['pool_seconds']:7.2f} s")
-    print(f"  speedup {speedup:6.2f}x")
+    print(f"  serial      {outcome['serial_seconds']:7.2f} s")
+    print(f"  pool cold   {outcome['pool_cold_seconds']:7.2f} s "
+          f"(spawn + imports, {outcome['cold_speedup']:.2f}x)")
+    print(f"  pool warm   {outcome['pool_seconds']:7.2f} s")
+    print(f"  speedup     {speedup:6.2f}x (serial vs warm)")
     assert_perf(speedup >= 1.2,
-                f"expected >=1.2x sweep speedup with {n_workers} workers, "
-                f"got {speedup:.2f}x",
+                f"expected >=1.2x warm-pool sweep speedup with {n_workers} "
+                f"workers, got {speedup:.2f}x",
                 relax=(os.cpu_count() or 1) < MIN_SWEEP_CPUS)
 
 

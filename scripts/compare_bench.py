@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare the two most recent ``BENCH_<date>.json`` records for regressions.
+
+Stdlib-only, like ``check_doc_links.py``, so it can run anywhere the repo
+checks out.  The script reads the tracked throughput/speedup fields
+(:data:`TRACKED_FIELDS` -- dotted paths into the record) from an older and
+a newer benchmark record and exits non-zero when any tracked field
+regressed by more than :data:`REGRESSION_THRESHOLD` (20%).
+
+It is wired into CI as an *informational* step (``continue-on-error``):
+shared runners are noisy enough that a hard gate would flap, but the
+red check is the prompt to look at the numbers before merging.
+
+Comparisons only make sense between records of the same workload size, so
+a smoke record is never compared against a full one (exit 0 with a note).
+Fields missing from either record -- older records predate newer
+measurements -- are skipped and reported, never treated as regressions.
+
+Usage::
+
+    python scripts/compare_bench.py                  # two newest in repo root
+    python scripts/compare_bench.py --dir DIR        # two newest in DIR
+    python scripts/compare_bench.py OLD.json NEW.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Dotted paths of the tracked higher-is-better fields.  Adding a metric to
+#: the BENCH record is only "tracked" once it is listed here.
+TRACKED_FIELDS = (
+    "placement.plans_per_second",
+    "scheduler_scaling.largest_speedup",
+    "replay.server_slots_per_second",
+    "sweep.speedup",
+    "characterization.speedup",
+    "streaming_ingest.vms_per_second",
+    "streaming_ingest.samples_per_second",
+)
+
+#: Fractional drop that counts as a regression (new < old * (1 - this)).
+REGRESSION_THRESHOLD = 0.20
+
+
+def lookup(record: dict, dotted: str):
+    """The value at *dotted* path, or ``None`` when any segment is absent."""
+    node = record
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def bench_records(directory: Path):
+    """``BENCH_*.json`` paths in *directory*, oldest first.
+
+    The date is in the filename (``BENCH_<ISO-date>.json``), so plain
+    filename order is chronological order.
+    """
+    return sorted(directory.glob("BENCH_*.json"))
+
+
+def compare(old_path: Path, new_path: Path,
+            threshold: float = REGRESSION_THRESHOLD) -> int:
+    old = json.loads(old_path.read_text())
+    new = json.loads(new_path.read_text())
+    print(f"comparing {old_path.name} ({old.get('git_revision', '?')}) "
+          f"-> {new_path.name} ({new.get('git_revision', '?')})")
+
+    if bool(old.get("smoke")) != bool(new.get("smoke")):
+        print("records measured different workload sizes "
+              f"(smoke={old.get('smoke')} vs smoke={new.get('smoke')}); "
+              "not comparable, skipping")
+        return 0
+
+    regressions = []
+    for field in TRACKED_FIELDS:
+        old_value = lookup(old, field)
+        new_value = lookup(new, field)
+        if old_value is None or new_value is None:
+            missing = old_path.name if old_value is None else new_path.name
+            print(f"  {field:44s} skipped (absent from {missing})")
+            continue
+        change = (new_value - old_value) / old_value if old_value else 0.0
+        marker = ""
+        if old_value and new_value < old_value * (1.0 - threshold):
+            marker = "  << REGRESSION"
+            regressions.append(field)
+        print(f"  {field:44s} {old_value:12.2f} -> {new_value:12.2f} "
+              f"({change:+7.1%}){marker}")
+
+    if regressions:
+        print(f"{len(regressions)} tracked field(s) regressed more than "
+              f"{threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("no tracked field regressed more than "
+          f"{threshold:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("records", nargs="*", type=Path,
+                        help="explicit OLD.json NEW.json pair "
+                             "(default: the two newest BENCH_*.json)")
+    parser.add_argument("--dir", type=Path,
+                        default=Path(__file__).resolve().parents[1],
+                        help="directory scanned for BENCH_*.json "
+                             "(default: repo root)")
+    args = parser.parse_args(argv)
+
+    if args.records:
+        if len(args.records) != 2:
+            parser.error("pass exactly two records (OLD.json NEW.json) "
+                         "or none")
+        old_path, new_path = args.records
+    else:
+        found = bench_records(args.dir)
+        if len(found) < 2:
+            print(f"found {len(found)} BENCH_*.json record(s) in "
+                  f"{args.dir}; need two to compare -- nothing to do")
+            return 0
+        old_path, new_path = found[-2], found[-1]
+    return compare(old_path, new_path)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

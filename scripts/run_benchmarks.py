@@ -5,11 +5,14 @@ Writes ``BENCH_<date>.json`` (see ``--output-dir``) with the headline
 performance numbers tracked PR over PR:
 
 * placement throughput (plans/s) of the vectorized scheduler, plus the
-  multi-size scaling curve of the incremental batched scheduler against
-  the dense baseline,
+  multi-size scaling curve (to 100k servers) of the incremental batched
+  scheduler against the dense baseline, with per-size peak RSS and an
+  explicit flag + factor whenever the dense rate is extrapolated from a
+  timed prefix,
 * replay throughput (observed server-slots/s) of the vectorized meter,
-* policy-sweep wall-clock, serial vs. process pool, with a bitwise
-  equality check between the two,
+* policy-sweep wall-clock, serial vs. process pool -- the pool timed
+  cold (worker spawn + imports) and warm (compute only) on one reused
+  executor -- with bitwise equality checks against the serial walk,
 * peak replay memory (tracemalloc bytes) for dense vs. chunked streaming
   replay, plus the process high-water RSS,
 * trace-store numbers: per-worker sweep-task bytes (pickled trace vs.
@@ -225,14 +228,24 @@ def print_summary(record: dict) -> None:
     chunked_mb = chunked["chunked_peak_bytes"] / 1e6
     print(f"  placement  {placement['plans_per_second']:12.0f} plans/s")
     scaling = record["scheduler_scaling"]
+    # "~" marks a dense rate extrapolated from a timed prefix (the factor
+    # is in the JSON as dense_extrapolation_factor) -- the incremental
+    # rate and the speedup denominator, never a measured end-to-end dense
+    # wall-clock at that size.
     points = ", ".join(
         f"{p['n_servers']}sv {p['incremental_plans_per_s']:.0f}/s "
-        f"({p['speedup']:.1f}x)" for p in scaling["curve"])
+        f"({'~' if p['dense_extrapolated'] else ''}{p['speedup']:.1f}x)"
+        for p in scaling["curve"])
     print(f"  scaling    {points}")
+    if any(p["dense_extrapolated"] for p in scaling["curve"]):
+        print("             (~ = dense baseline extrapolated from a "
+              "prefix; factor recorded in the JSON)")
     print(f"  replay     {replay['server_slots_per_second']:12.0f} server-slots/s")
     print(f"  sweep      serial {sweep['serial_seconds']:.2f}s", end="")
-    print(f"  pool {sweep['pool_seconds']:.2f}s", end="")
-    print(f"  ({sweep['workers']} workers, {sweep['speedup']:.2f}x)")
+    print(f"  pool cold {sweep['pool_cold_seconds']:.2f}s", end="")
+    print(f"  warm {sweep['pool_seconds']:.2f}s", end="")
+    print(f"  ({sweep['workers']} workers, warm {sweep['speedup']:.2f}x, "
+          f"cold {sweep['cold_speedup']:.2f}x)")
     print(f"  chunked    peak {chunked_mb:.1f} MB vs dense {dense_mb:.1f} MB", end="")
     print(f"  ({chunked['peak_reduction']:.1f}x reduction)")
     store = record["trace_store"]

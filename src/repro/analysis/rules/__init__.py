@@ -11,4 +11,5 @@ from repro.analysis.rules import (  # noqa: F401
     rep004_wallclock,
     rep005_twins,
     rep006_ledger,
+    rep007_index,
 )

@@ -33,11 +33,12 @@ _LEDGER_ARRAYS = frozenset({
     "demand_sum", "demand_peak", "va_peak", "score_base", "row_used",
 })
 
-#: The sanctioned mutators: construction, the two row mutators, the
-#: teardown check, and the cache refresher they all delegate to.
+#: The sanctioned mutators: construction, the row mutators (single-row and
+#: the batched scatter), the teardown check, and the cache refresher they
+#: all delegate to.
 _ALLOWED_FUNCTIONS = frozenset({
-    "__init__", "commit_row", "release_row", "assert_row_empty",
-    "_refresh_row_caches",
+    "__init__", "commit_row", "commit_rows", "release_row",
+    "assert_row_empty", "_refresh_row_caches",
 })
 
 

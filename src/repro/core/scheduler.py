@@ -71,6 +71,54 @@ bitwise-identical tie-breaking; whenever exactness cannot be guaranteed
 falls back to the dense path wholesale.  ``ClusterScheduler.place_batch``
 amortizes the per-plan preprocessing across an arrival batch on top of the
 same row-level machinery, with decisions identical to sequential ``place``.
+
+The tiered candidate index
+--------------------------
+
+The screened path above still touches every server per placement (a few
+O(n_servers) vector ops).  To make placement cost sublinear in fleet size
+the ledger additionally maintains a *tiered candidate index*:
+
+* used rows are bucketed into **score bands** of width :data:`_BAND_WIDTH`
+  over their cached ``score_base`` (``_row_band`` / ``_band_members``);
+* empty rows sit in one **min-heap per capacity kind**
+  (``_empty_heaps``), so the globally lowest-index empty row of each kind
+  -- the only empty row that can survive the first-max tie-break -- is a
+  peek away.
+
+Within one capacity kind the approximate score is monotone in
+``score_base``, so a band has a cheap upper bound on the approximate score
+of every row it contains.  :meth:`ClusterLedger.best_fit_row` descends
+bands in decreasing upper-bound order, stops as soon as the remaining
+bands provably sit below the SCORE_TOLERANCE frontier of the best
+surely-fitting row, and hands the surviving shortlist to the same exact
+gathered re-verify as the screened path.  Whenever the scan cannot stay
+sublinear (band occupancy, no fitting row found yet, degenerate
+capacities) it falls back to the screened path, which can in turn fall
+back to the dense path -- each link of the chain is individually exact, so
+the decision is bitwise-identical no matter where the chain stops.  The
+index itself is only ever written inside the sanctioned mutators
+(REP007), exactly like the row caches (REP006): ``_refresh_row_caches``
+moves the touched row between bands/heaps in the same call that refreshes
+its caches, and stale heap entries are popped eagerly by the mutator so
+the read path never mutates the index.
+
+Batched admission commits *provably independent runs* with one vectorized
+multi-row scatter (:meth:`ClusterLedger.commit_rows`):
+``ClusterScheduler.place_batch`` evaluates consecutive plans against the
+ledger state frozen at the start of the current run, and keeps extending
+the run while each accepted plan (a) chooses a row no earlier run member
+chose, and (b) cannot be overtaken by any earlier member's post-commit
+score even under worst-case rounding (rejections are always safe: commits
+only add demand, and IEEE-754 addition is monotone, so a plan rejected
+against the stale state is also rejected against the true state).  The
+first plan that fails either proof ends the run: the accumulated members
+are scatter-committed, and the plan re-evaluates against the true state as
+the start of the next run.  Every row receives at most one commit per
+scatter, so the scatter is elementwise the same additions as sequential
+``commit_row`` calls, and the caches refresh per row afterwards -- the
+decision sequence, including rejection ordering, stays bitwise-equal to
+looped ``place``.
 """
 
 # repro: hot-path  -- REP003: placement evaluates every server per VM; the
@@ -80,7 +128,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence
+from heapq import heapify, heappop, heappush
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -108,6 +157,39 @@ _CAPACITY_FLOOR = 1e-3
 #: shortlist and re-runs the dense evaluation (e.g. an empty cluster, where
 #: every approximate score ties inside the band).
 _DENSE_FALLBACK_MIN = 32
+#: Width of one ``score_base`` band in the tiered candidate index.  Scores
+#: are per-resource committed fractions summed over <= n_resources terms, so
+#: bases live in roughly [0, n_resources] and the band count stays small.
+_BAND_WIDTH = 1.0 / 64.0
+#: Slack added to a band's upper edge before bounding its members'
+#: approximate scores.  It swamps both the ``int(score / width)`` rounding at
+#: the edge (~1e-15 at these magnitudes) and the last-ulp difference between
+#: the per-kind GEMV and the gathered per-row GEMV, while staying far below
+#: :data:`SCORE_TOLERANCE`, so the bound is safe without widening the band
+#: frontier.
+_BAND_EDGE_SLACK = 1e-9
+#: Sentinel returned by the tiered scan when band occupancy makes a
+#: sublinear exact answer uncertain; the caller falls back to the screened
+#: O(n_servers) path (which may itself fall back to the dense path).
+_TIERED_UNDECIDED = -2
+#: Slack added to a pending run member's reconstructed post-commit
+#: ``score_base`` upper bound (see ``place_batch``): the true refreshed base
+#: differs from ``fl(base + mean-term)`` by a handful of 2^-53 rounding
+#: steps (~1e-14 at these magnitudes), so 1e-10 is a safe over-estimate
+#: while staying far below the 2x SCORE_TOLERANCE overtake margin.
+_RUN_BASE_SLACK = 1e-10
+#: Below this fleet size the tiered scan is pure overhead: the screened
+#: path's O(n_servers) vector ops already cost less than the band-descent
+#: bookkeeping, so ``best_fit_row`` skips straight to it.  Purely a
+#: performance dispatch -- both paths reach the same decision.
+_TIERED_MIN_SERVERS = 8192
+#: Starting credit for the provable-run partition in ``place_batch``.
+#: Consolidating arrival patterns conflict on every plan (each placement
+#: makes the winning row *more* attractive to the next plan), in which case
+#: every run commits a single member and the stale evaluation that detected
+#: the conflict is wasted; the credit decays on such degenerate runs and the
+#: batch falls back to sequential admission when it runs out.
+_RUN_CREDIT = 8
 
 #: Indices of resources inside ``ALL_RESOURCES``-ordered arrays.
 _CPU_INDEX = ALL_RESOURCES.index(Resource.CPU)
@@ -146,7 +228,9 @@ class ClusterLedger:
                  "pa_memory", "va_demand", "demand_sum", "demand_peak",
                  "va_peak", "score_base", "row_used", "_inv_capacity",
                  "_inv_counts", "_fit_threshold", "_memory_threshold",
-                 "_score_safe", "_capacity_kind")
+                 "_score_safe", "_capacity_kind", "_kind_count",
+                 "_kind_inv_capacity", "_kind_inv_counts", "_row_band",
+                 "_band_members", "_empty_heaps")
 
     def __init__(self, server_configs: Sequence[ServerConfig],
                  windows: TimeWindowConfig):
@@ -186,6 +270,44 @@ class ClusterLedger:
                 capacity.T, axis=0, return_inverse=True)[1].reshape(-1)
         else:
             self._capacity_kind = np.zeros(0, dtype=np.intp)
+        # Per-kind score statics for the tiered index: one representative
+        # column per capacity kind (kind labels are indices into the sorted
+        # unique capacity rows, and np.unique returns first occurrences, so
+        # the representative is the lowest-index row of its kind).
+        self._kind_count = int(self._capacity_kind.max()) + 1 if self.n_servers else 0
+        if self._kind_count:
+            first_rows = np.unique(self._capacity_kind, return_index=True)[1]
+            self._kind_inv_capacity = self._inv_capacity[:, first_rows]
+            self._kind_inv_counts = self._inv_counts[first_rows]
+        else:
+            self._kind_inv_capacity = np.zeros((len(ALL_RESOURCES), 0))
+            self._kind_inv_counts = np.zeros(0)
+        self.rebuild_candidate_index()
+
+    def rebuild_candidate_index(self) -> None:
+        """Rebuild the tiered candidate index from the cached row state.
+
+        The index is fully derived from ``row_used`` / ``score_base`` /
+        ``_capacity_kind``, so a from-scratch rebuild must land in the same
+        state that incremental maintenance (:meth:`_index_update_row`)
+        reaches -- the churn differential suite pins exactly that.  This is
+        the bootstrap path (``__init__``) and the sanctioned recovery hook.
+        """
+        self._row_band = np.full(self.n_servers, -1, dtype=np.intp)
+        self._band_members: Dict[int, Set[int]] = {}
+        heaps: List[List[int]] = [[] for _ in range(self._kind_count)]
+        for row in range(self.n_servers):
+            if self.row_used[row]:
+                band = int(self.score_base[row] / _BAND_WIDTH)
+                self._row_band[row] = band
+                self._band_members.setdefault(band, set()).add(row)
+            else:
+                # Ascending append per kind already satisfies the heap
+                # invariant; heapify keeps that independent of build order.
+                heaps[self._capacity_kind[row]].append(row)
+        for heap in heaps:
+            heapify(heap)
+        self._empty_heaps = heaps
 
     # ------------------------------------------------------------------ #
     # Vectorized admission checks and packing score
@@ -274,9 +396,195 @@ class ClusterLedger:
             mask, self.packing_scores(hypothetical=hypothetical), -np.inf)
         return int(np.argmax(scores))
 
+    def _screen_rows(self, rows: np.ndarray, guaranteed_memory_gb: float,
+                     conservative: bool, stats: tuple) -> tuple:
+        """Tri-state screen + approximate scores for a gathered row subset.
+
+        Elementwise the same arithmetic as the full-fleet screen in
+        :meth:`best_fit_row_screened` (no cross-row reductions), so each
+        row's surely-fits / surely-fails classification is bitwise-identical
+        to the O(n_servers) pass.  The approximate scores use a gathered
+        GEMV, which may differ from the full GEMV in the last ulp -- callers
+        must only compare them against SCORE_TOLERANCE-wide margins, never
+        bitwise across paths.
+        """
+        plan_peak, plan_min, plan_mean, va_peak_add, va_min_add = stats
+        threshold = self._fit_threshold[:, rows]
+        peaks = self.demand_peak[:, rows]
+        sure_ok = np.all(peaks + plan_peak[:, None] <= threshold, axis=0)
+        sure_bad = np.any(peaks + plan_min[:, None] > threshold, axis=0)
+        capacity_memory = self._memory_threshold[rows]
+        new_pa = self.pa_memory[rows] + guaranteed_memory_gb
+        pa_ok = new_pa <= capacity_memory
+        if conservative:
+            va_peak = self.va_peak[rows]
+            fit_hi = (pa_ok & sure_ok
+                      & (new_pa + (va_peak + va_peak_add) <= capacity_memory))
+            sure_fail = (~pa_ok | sure_bad
+                         | (new_pa + (va_peak + va_min_add) > capacity_memory))
+        else:
+            fit_hi = pa_ok & sure_ok
+            sure_fail = ~pa_ok | sure_bad
+        approx = ((self.score_base[rows]
+                   + plan_mean @ self._inv_capacity[:, rows])
+                  * self._inv_counts[rows])
+        return fit_hi, sure_fail, approx
+
+    def _verify_candidate_rows(self, rows: np.ndarray, plan_demand: np.ndarray,
+                               guaranteed_memory_gb: float,
+                               va_window_demand: np.ndarray,
+                               conservative: bool) -> int:
+        """Exact admission + scoring over a sorted candidate shortlist.
+
+        Gathered rows are C-contiguous, so the window mean and resource sum
+        reduce in the same order as the full-matrix pass (summation-order
+        contract, module docstring) and the scores are bitwise-identical to
+        :meth:`best_fit_row_dense`; *rows* must be sorted ascending so the
+        first-max argmax preserves lowest-index tie-breaking.
+        """
+        hypothetical = self.demand[:, rows, :] + plan_demand[:, None, :]
+        capacity = self.capacity[:, rows]
+        window_ok = np.all(hypothetical <= capacity[:, :, None] + FIT_EPSILON,
+                           axis=2)
+        new_pa_rows = self.pa_memory[rows] + guaranteed_memory_gb
+        capacity_memory = capacity[_MEMORY_INDEX]
+        fit = window_ok.all(axis=0) & (new_pa_rows <= capacity_memory + FIT_EPSILON)
+        if conservative:
+            new_va = (self.va_demand[rows] + va_window_demand[None, :]).max(axis=1)
+            fit &= (np.all(window_ok[_NON_MEMORY_INDICES], axis=0)
+                    & (new_pa_rows + new_va <= capacity_memory + FIT_EPSILON))
+        if not fit.any():
+            return -1
+        means = hypothetical.mean(axis=2)
+        positive = capacity > 0
+        ratios = np.where(positive, means / np.where(positive, capacity, 1.0), 0.0)
+        counts = positive.sum(axis=0)
+        scores = ratios.sum(axis=0) / np.maximum(counts, 1)
+        return int(rows[int(np.argmax(np.where(fit, scores, -np.inf)))])
+
+    def _best_fit_row_tiered(self, plan_demand: np.ndarray,
+                             guaranteed_memory_gb: float,
+                             va_window_demand: np.ndarray,
+                             conservative: bool, stats: tuple) -> int:
+        """Band-descent candidate search over the tiered index.
+
+        Returns the winning row, ``-1`` when no server fits, or
+        :data:`_TIERED_UNDECIDED` when the scan cannot stay sublinear --
+        the caller then falls back to the screened O(n_servers) path, which
+        reaches the same decision by construction.
+
+        Within one capacity kind the approximate score
+        ``(score_base + plan_term) * inv_count`` is monotone in
+        ``score_base``, so a band's upper edge bounds every member's
+        approximate score: ``max_k fl((band_hi + term_k) * inv_count_k)``
+        with :data:`_BAND_EDGE_SLACK` absorbing edge rounding.  Bands are
+        scanned in decreasing-bound order (bound is monotone in the band
+        id); once every unscanned band's bound sits below
+        ``best_sure - SCORE_TOLERANCE``, no unscanned row can reach the
+        frontier -- the winner and every row tied with it live in scanned
+        bands, because a fitting row's approximate score is within ~1e-13
+        of its exact score (same argument as the screened path).  Empty
+        rows contribute one candidate per capacity kind: the heap top,
+        which is the lowest-index empty row of its kind, the only one that
+        can survive the first-max tie-break among interchangeable rows.
+        """
+        plan_mean = stats[2]
+        budget = max(_DENSE_FALLBACK_MIN, self.n_servers // 8)
+        kind_term = plan_mean @ self._kind_inv_capacity
+        chunks = []
+        best_sure = -np.inf
+        scanned = 0
+        # Bands are buffered and screened in geometrically growing chunks:
+        # a placement near the frontier resolves after one small screen,
+        # while a deep descent pays O(log scanned) numpy dispatches instead
+        # of one per band.  Buffered-but-unscreened rows cannot raise
+        # best_sure yet, which only delays pruning -- never unsoundly prunes.
+        buffered: List[int] = [heap[0] for heap in self._empty_heaps if heap]
+        chunk_target = _DENSE_FALLBACK_MIN
+        bands = sorted(self._band_members, reverse=True)
+        position = 0
+        while True:
+            while position < len(bands) and len(buffered) < chunk_target:
+                band = bands[position]
+                if best_sure > -np.inf:
+                    band_hi = (band + 1) * _BAND_WIDTH + _BAND_EDGE_SLACK
+                    bound = float(((band_hi + kind_term)
+                                   * self._kind_inv_counts).max())
+                    if bound < best_sure - SCORE_TOLERANCE:
+                        # Bounds only shrink from here on (monotone in the
+                        # band id): every unscanned row is provably outside
+                        # the frontier.
+                        position = len(bands)
+                        break
+                buffered.extend(self._band_members[band])
+                position += 1
+            if not buffered:
+                break
+            scanned += len(buffered)
+            if scanned > budget:
+                return _TIERED_UNDECIDED
+            rows = np.fromiter(buffered, np.intp, len(buffered))
+            fit_hi, sure_fail, approx = self._screen_rows(
+                rows, guaranteed_memory_gb, conservative, stats)
+            chunks.append((rows, sure_fail, approx))
+            if fit_hi.any():
+                best_sure = max(best_sure, float(approx[fit_hi].max()))
+            buffered = []
+            chunk_target *= 2
+            if position >= len(bands):
+                break
+        if not chunks:
+            return -1
+        rows = np.concatenate([chunk[0] for chunk in chunks])
+        sure_fail = np.concatenate([chunk[1] for chunk in chunks])
+        approx = np.concatenate([chunk[2] for chunk in chunks])
+        if best_sure > -np.inf:
+            keep = ~sure_fail & (approx >= best_sure - SCORE_TOLERANCE)
+        else:
+            keep = ~sure_fail
+        candidates = np.sort(rows[keep])
+        if candidates.size == 0:
+            # Every used row was scanned (best_sure = -inf means no band was
+            # pruned) and every empty row fails exactly like its kind's
+            # representative, so this is a complete rejection proof.
+            return -1
+        if candidates.size > budget:
+            return _TIERED_UNDECIDED
+        return self._verify_candidate_rows(
+            candidates, plan_demand, guaranteed_memory_gb, va_window_demand,
+            conservative)
+
     def best_fit_row(self, plan_demand: np.ndarray, guaranteed_memory_gb: float,
                      va_window_demand: np.ndarray, conservative: bool,
                      stats: Optional[tuple] = None) -> int:
+        """Exact best-fit via the tiered index, screened and dense fallbacks.
+
+        Tries :meth:`_best_fit_row_tiered` first (sublinear in fleet size);
+        when the tiered scan cannot stay sublinear it falls back to
+        :meth:`best_fit_row_screened` (O(n_servers) screen), which itself
+        falls back to :meth:`best_fit_row_dense` when the shortlist
+        degenerates.  Every link of the chain reproduces the dense
+        decision bitwise, so the chain may stop anywhere.
+        """
+        if not self._score_safe:
+            return self.best_fit_row_dense(plan_demand, guaranteed_memory_gb,
+                                           va_window_demand, conservative)
+        if stats is None:
+            stats = _plan_screen_stats(plan_demand, va_window_demand)
+        if self.n_servers >= _TIERED_MIN_SERVERS:
+            row = self._best_fit_row_tiered(plan_demand, guaranteed_memory_gb,
+                                            va_window_demand, conservative,
+                                            stats)
+            if row != _TIERED_UNDECIDED:
+                return row
+        return self.best_fit_row_screened(plan_demand, guaranteed_memory_gb,
+                                          va_window_demand, conservative,
+                                          stats=stats)
+
+    def best_fit_row_screened(self, plan_demand: np.ndarray,
+                              guaranteed_memory_gb: float,
+                              va_window_demand: np.ndarray, conservative: bool,
+                              stats: Optional[tuple] = None) -> int:
         """Screened best-fit over the cached row sums, exact by construction.
 
         Three steps, each relying only on IEEE-754 addition being monotone
@@ -360,25 +668,9 @@ class ClusterLedger:
         if rows.size > max(_DENSE_FALLBACK_MIN, self.n_servers // 8):
             return self.best_fit_row_dense(plan_demand, guaranteed_memory_gb,
                                            va_window_demand, conservative)
-        hypothetical = self.demand[:, rows, :] + plan_demand[:, None, :]
-        capacity = self.capacity[:, rows]
-        window_ok = np.all(hypothetical <= capacity[:, :, None] + FIT_EPSILON,
-                           axis=2)
-        new_pa_rows = new_pa[rows]
-        capacity_memory = capacity[_MEMORY_INDEX]
-        fit = window_ok.all(axis=0) & (new_pa_rows <= capacity_memory + FIT_EPSILON)
-        if conservative:
-            new_va = (self.va_demand[rows] + va_window_demand[None, :]).max(axis=1)
-            fit &= (np.all(window_ok[_NON_MEMORY_INDICES], axis=0)
-                    & (new_pa_rows + new_va <= capacity_memory + FIT_EPSILON))
-        if not fit.any():
-            return -1
-        means = hypothetical.mean(axis=2)
-        positive = capacity > 0
-        ratios = np.where(positive, means / np.where(positive, capacity, 1.0), 0.0)
-        counts = positive.sum(axis=0)
-        scores = ratios.sum(axis=0) / np.maximum(counts, 1)
-        return int(rows[int(np.argmax(np.where(fit, scores, -np.inf)))])
+        return self._verify_candidate_rows(rows, plan_demand,
+                                           guaranteed_memory_gb,
+                                           va_window_demand, conservative)
 
     # ------------------------------------------------------------------ #
     # Row updates
@@ -404,6 +696,44 @@ class ClusterLedger:
         # zero sum/PA/VA-peak proves the whole row is exactly zero.
         self.row_used[row] = bool(row_sum.any() or self.pa_memory[row]
                                   or self.va_peak[row])
+        self._index_update_row(row)
+
+    def _index_update_row(self, row: int) -> None:
+        """Move one row between the tiered-index structures after a mutation.
+
+        Called only from :meth:`_refresh_row_caches` (REP007), so the index
+        tracks ``row_used`` / ``score_base`` in the same call that refreshes
+        them.  A used->empty transition pushes the row back onto its kind's
+        heap; stale heap entries (rows that became used while enqueued) are
+        popped eagerly here -- the only place a row's usedness can change --
+        so the read path can trust every heap top without mutating anything.
+        """
+        old_band = int(self._row_band[row])
+        if self.row_used[row]:
+            band = int(self.score_base[row] / _BAND_WIDTH)
+            if band != old_band:
+                if old_band >= 0:
+                    members = self._band_members[old_band]
+                    members.discard(row)
+                    if not members:
+                        del self._band_members[old_band]
+                self._band_members.setdefault(band, set()).add(row)
+                self._row_band[row] = band
+        else:
+            if old_band >= 0:
+                members = self._band_members[old_band]
+                members.discard(row)
+                if not members:
+                    del self._band_members[old_band]
+                self._row_band[row] = -1
+                # Seeded at __init__ and re-pushed on every used->empty
+                # transition, so every currently-empty row has an entry;
+                # empty->empty refreshes (old_band < 0) push nothing, so
+                # entries don't multiply under repeated asserts.
+                heappush(self._empty_heaps[self._capacity_kind[row]], row)
+        heap = self._empty_heaps[self._capacity_kind[row]]
+        while heap and self.row_used[heap[0]]:
+            heappop(heap)
 
     def commit_row(self, row: int, plan: VMResourcePlan) -> None:
         for index, resource in enumerate(ALL_RESOURCES):
@@ -412,6 +742,31 @@ class ClusterLedger:
         self.pa_memory[row] += memory_plan.guaranteed
         self.va_demand[row, :] += memory_plan.window_oversubscribed
         self._refresh_row_caches(row)
+
+    def commit_rows(self, rows: np.ndarray, plans: Sequence[VMResourcePlan],
+                    plan_demand: np.ndarray) -> None:
+        """Commit one plan per row in a single vectorized scatter.
+
+        *rows* must be distinct (each row receives exactly one plan), so
+        every ledger element gets exactly one addition -- elementwise the
+        same ``fl(committed + demand)`` as the equivalent sequence of
+        :meth:`commit_row` calls, in any order.  ``plan_demand`` is the
+        ``(n_plans, n_resources, n_windows)`` stack of the plans' demand
+        matrices (the batch path already has it; rebuilding it here would
+        repeat the preprocessing the batch amortized).  The caches refresh
+        per row: ``score_base`` deliberately stays a per-row dot product,
+        because batched GEMV and per-row ``@`` are not bitwise-equal on
+        every BLAS.
+        """
+        memory_plans = [plan.plans[Resource.MEMORY] for plan in plans]
+        self.demand[:, rows, :] += plan_demand.transpose(1, 0, 2)
+        self.pa_memory[rows] += np.fromiter(
+            (memory_plan.guaranteed for memory_plan in memory_plans),
+            float, len(memory_plans))
+        self.va_demand[rows, :] += np.stack(
+            [memory_plan.window_oversubscribed for memory_plan in memory_plans])
+        for row in rows:
+            self._refresh_row_caches(int(row))
 
     def release_row(self, row: int, plan: VMResourcePlan) -> None:
         """Subtract a plan from a row, snapping near-zero residues to zero.
@@ -708,17 +1063,20 @@ class ClusterScheduler:
         return self._place_prepared(plan, plan_demand_matrix(plan), None)
 
     def place_batch(self, plans: Sequence[VMResourcePlan]) -> List[PlacementDecision]:
-        """Place an arrival batch, amortizing the per-plan preprocessing.
+        """Place an arrival batch, amortizing preprocessing and commits.
 
         Decisions are bitwise-identical to calling :meth:`place` on each plan
-        in order, including rejection ordering: admission still happens
-        sequentially against the ledger (a batch member sees every earlier
-        member's commit), but the demand tensors and the screening
-        extrema/means feeding :meth:`ClusterLedger.best_fit_row` are built in
-        one stacked pass for the whole batch.  The only divergence from the
-        sequential loop is on the error path: window-config mismatches are
-        validated up front, so a bad plan fails the whole batch before any
-        commit instead of after its predecessors were placed.
+        in order, including rejection ordering: the demand tensors and the
+        screening extrema/means feeding :meth:`ClusterLedger.best_fit_row`
+        are built in one stacked pass for the whole batch, and admission runs
+        as *provably independent runs* (module docstring) whose members are
+        committed with one multi-row scatter
+        (:meth:`ClusterLedger.commit_rows`); any plan whose decision could
+        depend on a pending commit ends the run and re-evaluates against the
+        true ledger state.  The only divergence from the sequential loop is
+        on the error path: window-config mismatches are validated up front,
+        so a bad plan fails the whole batch before any commit instead of
+        after its predecessors were placed.
         """
         plans = list(plans)
         for plan in plans:
@@ -738,6 +1096,9 @@ class ClusterScheduler:
         means = tensor.mean(axis=2)
         va_peaks = va.max(axis=1)
         va_mins = va.min(axis=1)
+        if self.incremental and self.ledger._score_safe:
+            return self._place_batch_runs(plans, tensor, peaks, mins, means,
+                                          va_peaks, va_mins)
         return [
             self._place_prepared(
                 plan, tensor[index],
@@ -745,6 +1106,131 @@ class ClusterScheduler:
                  float(va_peaks[index]), float(va_mins[index])))
             for index, plan in enumerate(plans)
         ]
+
+    def _place_batch_runs(self, plans: List[VMResourcePlan],
+                          tensor: np.ndarray, peaks: np.ndarray,
+                          mins: np.ndarray, means: np.ndarray,
+                          va_peaks: np.ndarray,
+                          va_mins: np.ndarray) -> List[PlacementDecision]:
+        """Admit a batch as provably independent runs with scatter commits.
+
+        Each run evaluates consecutive plans against the ledger state frozen
+        at the run's start (commits are deferred), and only keeps a plan in
+        the run when its decision provably matches sequential admission:
+
+        * a **rejection** is always safe -- commits only add demand and
+          IEEE-754 addition is monotone, so a plan no server fits on the
+          stale state fits no server on the true state either;
+        * an **acceptance** is safe when the chosen row is not pending a
+          commit in this run (its fit and score are then untouched), and no
+          pending row's post-commit score can reach the winner's score even
+          under worst-case rounding: each pending row's post-commit
+          ``score_base`` is over-estimated by ``fl(base + mean-term)`` plus
+          :data:`_RUN_BASE_SLACK`, and the resulting approximate score must
+          stay ``2 * SCORE_TOLERANCE`` below the winner's approximate score
+          -- a margin that dwarfs the ~1e-13 approximation error, so the
+          exact comparison (and its lowest-index tie-break) cannot flip.
+
+        The first plan that fails either proof ends the run: the pending
+        members are committed with one :meth:`ClusterLedger.commit_rows`
+        scatter (bitwise-equal to their sequential commits) and the plan
+        re-evaluates against the refreshed state as the start of the next
+        run, so the decision sequence stays bitwise-identical to looped
+        :meth:`place`.
+        """
+        ledger = self.ledger
+        n = len(plans)
+        decisions: List[PlacementDecision] = []
+        pending_rows = np.empty(n, dtype=np.intp)
+        pending_ub = np.empty(n)
+        index = 0
+        credit = _RUN_CREDIT
+        while index < n:
+            if credit <= 0:
+                # Degenerate arrival pattern: every placement makes its row
+                # more attractive to the next plan, so runs keep ending after
+                # one member and each conflict wastes one stale evaluation.
+                # Sequential admission is the same decision sequence without
+                # the waste.
+                decisions.append(self._place_prepared(
+                    plans[index], tensor[index],
+                    (peaks[index], mins[index], means[index],
+                     float(va_peaks[index]), float(va_mins[index]))))
+                index += 1
+                continue
+            run_members: List[int] = []
+            run_rows: Set[int] = set()
+            duplicate_vm: Optional[str] = None
+            pending = 0
+            while index < n:
+                plan = plans[index]
+                if plan.vm_id in self._placements:
+                    # Sequential _place_prepared raises here with the
+                    # predecessors already committed; flush, then raise.
+                    duplicate_vm = plan.vm_id
+                    break
+                memory_plan = plan.plans[Resource.MEMORY]
+                stats = (peaks[index], mins[index], means[index],
+                         float(va_peaks[index]), float(va_mins[index]))
+                row = ledger.best_fit_row(
+                    tensor[index], memory_plan.guaranteed,
+                    memory_plan.window_oversubscribed, self.conservative,
+                    stats=stats)
+                if row < 0:
+                    decision = PlacementDecision(plan.vm_id, False, None,
+                                                 "no server fits")
+                    self._rejected += 1
+                    if self.decisions.maxlen:
+                        self.decisions.append(decision)
+                    decisions.append(decision)
+                    index += 1
+                    continue
+                if row in run_rows:
+                    break
+                mean_term = means[index] @ ledger._inv_capacity[:, row]
+                if pending:
+                    winner_approx = float(
+                        (ledger.score_base[row] + mean_term)
+                        * ledger._inv_counts[row])
+                    rows_view = pending_rows[:pending]
+                    overtake_ub = ((pending_ub[:pending]
+                                    + means[index]
+                                    @ ledger._inv_capacity[:, rows_view])
+                                   * ledger._inv_counts[rows_view])
+                    if not np.all(overtake_ub
+                                  < winner_approx - 2.0 * SCORE_TOLERANCE):
+                        break
+                account = self._accounts[row]
+                pending_rows[pending] = row
+                pending_ub[pending] = (float(ledger.score_base[row]
+                                             + mean_term) + _RUN_BASE_SLACK)
+                pending += 1
+                run_rows.add(row)
+                run_members.append(index)
+                self._placements[plan.vm_id] = account.server_id
+                account.plans[plan.vm_id] = plan
+                decision = PlacementDecision(plan.vm_id, True,
+                                             account.server_id)
+                self._accepted += 1
+                if self.decisions.maxlen:
+                    self.decisions.append(decision)
+                decisions.append(decision)
+                index += 1
+            if pending:
+                member_index = np.fromiter(run_members, np.intp, pending)
+                ledger.commit_rows(pending_rows[:pending],
+                                   [plans[i] for i in run_members],
+                                   tensor[member_index])
+            if duplicate_vm is not None:
+                raise ValueError(f"VM {duplicate_vm} is already placed on "
+                                 f"{self._placements[duplicate_vm]}")
+            if index < n:
+                # The run ended on a conflict (not batch end): multi-member
+                # runs earn credit, single-member runs -- where the stale
+                # evaluation was pure waste -- spend it.
+                credit = min(credit + 1, 4 * _RUN_CREDIT) if pending >= 2 \
+                    else credit - 1
+        return decisions
 
     def _place_prepared(self, plan: VMResourcePlan, plan_demand: np.ndarray,
                         stats: Optional[tuple]) -> PlacementDecision:

@@ -6,7 +6,10 @@ hold the GIL, so the thread pool that fans *clusters* out inside one policy
 run (``SimulationConfig.parallelism``) cannot speed the sweep itself up.
 This module fans the sweep out at the policy level instead: one
 :class:`SweepTask` per policy, dispatched to a ``ProcessPoolExecutor``
-(``SimulationConfig.sweep_parallelism`` workers).
+(``SimulationConfig.sweep_parallelism`` workers).  Callers that sweep
+repeatedly can hand ``sweep_policies`` a long-lived pool from
+:func:`create_sweep_executor`, paying the worker spawn + import bill once
+instead of per sweep.
 
 Determinism contract
 --------------------
@@ -53,7 +56,7 @@ wins (deterministic error reporting).
 from __future__ import annotations
 
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -175,9 +178,24 @@ def _evaluate_serial(trace: Trace, name: str, policy: PolicyConfig,
         raise PolicySweepError(name, type(exc).__name__, str(exc)) from exc
 
 
+def create_sweep_executor(n_workers: int) -> ProcessPoolExecutor:
+    """A sweep-compatible process pool the caller owns (``spawn`` workers).
+
+    Passing the pool to ``sweep_policies(..., executor=...)`` reuses the
+    same workers across consecutive sweeps, paying the one-time spawn +
+    numpy-import bill once instead of per sweep.  The caller is
+    responsible for ``shutdown()``; the sweep never closes a pool it did
+    not create.
+    """
+    return ProcessPoolExecutor(max_workers=max(1, n_workers),
+                               mp_context=get_context(_MP_START_METHOD))
+
+
 def sweep_policies(trace: Trace,
                    policies: Optional[Dict[str, PolicyConfig]] = None,
-                   config: Optional[SimulationConfig] = None) -> Dict[str, PolicyEvaluation]:
+                   config: Optional[SimulationConfig] = None,
+                   *,
+                   executor: Optional[ProcessPoolExecutor] = None) -> Dict[str, PolicyEvaluation]:
     """Evaluate several policies on the same trace (Figure 20).
 
     Dispatches one :class:`SweepTask` per policy across
@@ -186,6 +204,12 @@ def sweep_policies(trace: Trace,
     returned mapping is bitwise identical to the serial sweep for any
     worker count.  Additional capacity is computed relative to the
     ``none`` policy when present.
+
+    With *executor* (see :func:`create_sweep_executor`) the tasks are
+    submitted to the caller's pool instead of a freshly spawned one and
+    the pool is left running afterwards -- worker reuse for callers that
+    sweep repeatedly.  Determinism is unaffected: workers share no sweep
+    state, so a warm worker computes the same bits as a cold one.
     """
     policies = dict(policies or STANDARD_POLICIES)
     config = config or SimulationConfig()
@@ -201,11 +225,13 @@ def sweep_policies(trace: Trace,
             f"{sorted(TRACE_TRANSPORTS)}")
 
     n_workers = min(max(1, config.sweep_parallelism), max(1, len(policies)))
-    if n_workers <= 1 or len(policies) <= 1:
+    pooled = (n_workers > 1 or executor is not None) and len(policies) > 1
+    if not pooled:
         results = {name: _evaluate_serial(trace, name, policy, config)
                    for name, policy in policies.items()}
     else:
-        results = _sweep_with_pool(trace, policies, config, n_workers)
+        results = _sweep_with_pool(trace, policies, config, n_workers,
+                                   executor=executor)
 
     if "none" in results:
         compare_policies(results, baseline="none")
@@ -240,9 +266,51 @@ def _export_shared_trace(trace: Trace,
         return None
 
 
+def _run_sweep_tasks(pool: ProcessPoolExecutor,
+                     tasks: list) -> Dict[str, PolicyEvaluation]:
+    """Submit every task and collect outcomes in declaration order.
+
+    Declaration-order collection gives a deterministic merge AND
+    deterministic error attribution when several policies fail at once.
+    On any failure the outstanding futures are cancelled and the running
+    ones drained before the exception propagates, so the caller can
+    unlink shared memory immediately -- even when the pool it handed in
+    keeps living after the sweep.
+    """
+    futures = [(task.policy_name, pool.submit(run_sweep_task, task))
+               for task in tasks]
+    results: Dict[str, PolicyEvaluation] = {}
+    try:
+        for name, future in futures:
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as exc:
+                # A worker died outright (OOM-kill, segfault) -- nothing
+                # could ship a _SweepFailure back, so attribute the break
+                # to the policy whose result was pending when it surfaced.
+                raise PolicySweepError(
+                    name, type(exc).__name__,
+                    "a sweep worker process died abruptly (e.g. "
+                    "OOM-killed or segfaulted) while this policy was "
+                    f"pending: {exc}",
+                ) from exc
+            if outcome.failure is not None:
+                failure = outcome.failure
+                raise PolicySweepError(name, failure.original_type,
+                                       failure.original_message,
+                                       failure.worker_traceback)
+            results[name] = outcome.evaluation
+    except BaseException:
+        for _name, pending in futures:
+            pending.cancel()
+        wait([future for _name, future in futures])
+        raise
+    return results
+
+
 def _sweep_with_pool(trace: Trace, policies: Dict[str, PolicyConfig],
-                     config: SimulationConfig,
-                     n_workers: int) -> Dict[str, PolicyEvaluation]:
+                     config: SimulationConfig, n_workers: int,
+                     executor: Optional[ProcessPoolExecutor] = None) -> Dict[str, PolicyEvaluation]:
     handle = _export_shared_trace(trace, config)
     if handle is None:
         # The pickle transport must carry exactly the seed payload -- one
@@ -251,44 +319,21 @@ def _sweep_with_pool(trace: Trace, policies: Dict[str, PolicyConfig],
     tasks = [SweepTask(name, policy, None if handle is not None else trace,
                        config, shared_trace=handle)
              for name, policy in policies.items()]
-    results: Dict[str, PolicyEvaluation] = {}
     try:
-        with ProcessPoolExecutor(max_workers=n_workers,
-                                 mp_context=get_context(_MP_START_METHOD)) as pool:
-            futures = [(task.policy_name, pool.submit(run_sweep_task, task))
-                       for task in tasks]
-            # Collect in declaration order: deterministic merge AND
-            # deterministic error attribution when several policies fail at
-            # once.
-            for name, future in futures:
-                try:
-                    outcome = future.result()
-                except BrokenProcessPool as exc:
-                    # A worker died outright (OOM-kill, segfault) -- nothing
-                    # could ship a _SweepFailure back, so attribute the break
-                    # to the policy whose result was pending when it
-                    # surfaced.
-                    for _name, pending in futures:
-                        pending.cancel()
-                    raise PolicySweepError(
-                        name, type(exc).__name__,
-                        "a sweep worker process died abruptly (e.g. "
-                        "OOM-killed or segfaulted) while this policy was "
-                        f"pending: {exc}",
-                    ) from exc
-                if outcome.failure is not None:
-                    for _name, pending in futures:
-                        pending.cancel()
-                    failure = outcome.failure
-                    raise PolicySweepError(name, failure.original_type,
-                                           failure.original_message,
-                                           failure.worker_traceback)
-                results[name] = outcome.evaluation
+        if executor is not None:
+            # Caller-owned pool: reuse its warm workers, never shut it
+            # down.  _run_sweep_tasks drains in-flight tasks on failure,
+            # so the unlink below cannot race a worker still attached.
+            results = _run_sweep_tasks(executor, tasks)
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers,
+                                     mp_context=get_context(_MP_START_METHOD)) as pool:
+                results = _run_sweep_tasks(pool, tasks)
     finally:
-        # The executor's __exit__ has drained every running worker by the
-        # time control reaches here, so unlinking is safe -- and running it
-        # on *every* exit path (success, failed policy, broken pool) is what
-        # guarantees no shared-memory segment outlives the sweep.
+        # Every exit path reaches here with the workers drained (the
+        # executor's __exit__ or _run_sweep_tasks' failure wait), so
+        # unlinking on *every* path is what guarantees no shared-memory
+        # segment outlives the sweep.
         if handle is not None:
             handle.unlink()
     return results

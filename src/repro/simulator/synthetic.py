@@ -42,10 +42,13 @@ SCALE_BENCH_CLUSTER = ClusterConfig(
 #: Fleet sizes of the scheduler scaling-curve benchmark (full mode).  The
 #: smallest matches :data:`SCALE_BENCH_CLUSTER` so the curve's first point
 #: stays comparable with the single-size placement benchmark.
-SCHEDULER_SCALING_SIZES: Tuple[int, ...] = (200, 1000, 5000)
+SCHEDULER_SCALING_SIZES: Tuple[int, ...] = (200, 1000, 5000, 20000, 100000)
 
-#: Reduced fleet sizes under ``REPRO_BENCH_SMOKE=1``.
-SCHEDULER_SCALING_SIZES_SMOKE: Tuple[int, ...] = (100, 400)
+#: Reduced fleet sizes under ``REPRO_BENCH_SMOKE=1``.  The largest still
+#: exceeds the tiered-index dispatch threshold
+#: (``scheduler._TIERED_MIN_SERVERS``), so even the smoke curve checks
+#: decision identity on the band-descent path, not just the screened one.
+SCHEDULER_SCALING_SIZES_SMOKE: Tuple[int, ...] = (100, 400, 10000)
 
 
 def scheduler_scaling_sizes(*, smoke: bool = False) -> Tuple[int, ...]:

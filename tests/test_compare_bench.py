@@ -1,0 +1,116 @@
+"""The BENCH-record regression comparator: tracked fields, thresholds, exits.
+
+``scripts/compare_bench.py`` is stdlib-only and runs as an informational CI
+step; this mirror in tier-1 pins its contract -- which fields are tracked,
+what counts as a regression, and the graceful exits (too few records,
+smoke/full mismatch, fields absent from older records) -- so a silent
+comparator breakage cannot survive a local ``pytest -x -q``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import compare_bench  # noqa: E402
+
+
+def _record(plans=1000.0, largest=30.0, replay=5e6, sweep=1.5,
+            characterization=8.0, vms=900.0, samples=4e5, *, smoke=False,
+            revision="abc1234"):
+    return {
+        "git_revision": revision,
+        "smoke": smoke,
+        "placement": {"plans_per_second": plans},
+        "scheduler_scaling": {"largest_speedup": largest},
+        "replay": {"server_slots_per_second": replay},
+        "sweep": {"speedup": sweep},
+        "characterization": {"speedup": characterization},
+        "streaming_ingest": {"vms_per_second": vms,
+                             "samples_per_second": samples},
+    }
+
+
+def _write(path, record):
+    path.write_text(json.dumps(record) + "\n")
+    return path
+
+
+class TestCompare:
+    def test_identical_records_pass(self, tmp_path, capsys):
+        old = _write(tmp_path / "BENCH_2026-01-01.json", _record())
+        new = _write(tmp_path / "BENCH_2026-01-02.json", _record())
+        assert compare_bench.compare(old, new) == 0
+        assert "no tracked field regressed" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        old = _write(tmp_path / "BENCH_2026-01-01.json", _record())
+        new = _write(tmp_path / "BENCH_2026-01-02.json",
+                     _record(largest=20.0))  # 30 -> 20 is a 33% drop
+        assert compare_bench.compare(old, new) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "scheduler_scaling.largest_speedup" in out
+
+    def test_drop_within_threshold_passes(self, tmp_path):
+        old = _write(tmp_path / "BENCH_2026-01-01.json", _record())
+        new = _write(tmp_path / "BENCH_2026-01-02.json",
+                     _record(plans=850.0))  # 15% drop < 20% threshold
+        assert compare_bench.compare(old, new) == 0
+
+    def test_improvements_never_fail(self, tmp_path):
+        old = _write(tmp_path / "BENCH_2026-01-01.json", _record())
+        new = _write(tmp_path / "BENCH_2026-01-02.json",
+                     _record(plans=5000.0, largest=150.0, sweep=4.0))
+        assert compare_bench.compare(old, new) == 0
+
+    def test_smoke_vs_full_is_not_comparable(self, tmp_path, capsys):
+        old = _write(tmp_path / "BENCH_2026-01-01.json",
+                     _record(smoke=True))
+        new = _write(tmp_path / "BENCH_2026-01-02.json",
+                     _record(largest=1.0))  # would regress if compared
+        assert compare_bench.compare(old, new) == 0
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_fields_absent_from_older_record_are_skipped(self, tmp_path,
+                                                         capsys):
+        older = _record()
+        del older["streaming_ingest"]  # predates the ingest benchmark
+        old = _write(tmp_path / "BENCH_2026-01-01.json", older)
+        new = _write(tmp_path / "BENCH_2026-01-02.json", _record())
+        assert compare_bench.compare(old, new) == 0
+        out = capsys.readouterr().out
+        assert out.count("skipped (absent from BENCH_2026-01-01.json)") == 2
+
+
+class TestDiscoveryAndCli:
+    def test_picks_two_newest_by_filename(self, tmp_path):
+        for day, largest in (("01", 30.0), ("02", 31.0), ("03", 32.0)):
+            _write(tmp_path / f"BENCH_2026-01-{day}.json",
+                   _record(largest=largest))
+        found = compare_bench.bench_records(tmp_path)
+        assert [p.name for p in found] == [
+            "BENCH_2026-01-01.json", "BENCH_2026-01-02.json",
+            "BENCH_2026-01-03.json"]
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+
+    def test_fewer_than_two_records_is_a_noop(self, tmp_path, capsys):
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+        assert "need two to compare" in capsys.readouterr().out
+        _write(tmp_path / "BENCH_2026-01-01.json", _record())
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+
+    def test_explicit_pair_overrides_discovery(self, tmp_path):
+        old = _write(tmp_path / "old.json", _record())
+        new = _write(tmp_path / "new.json", _record(replay=1e6))  # 80% drop
+        assert compare_bench.main([str(old), str(new)]) == 1
+
+    def test_tracked_fields_exist_in_the_emitted_record_shape(self):
+        # Every tracked dotted path must resolve against the shape
+        # scripts/run_benchmarks.py emits (here: the test fixture mirror),
+        # so a field rename cannot silently stop being tracked.
+        record = _record()
+        for field in compare_bench.TRACKED_FIELDS:
+            assert compare_bench.lookup(record, field) is not None, field

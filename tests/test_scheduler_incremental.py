@@ -15,7 +15,13 @@ Three contracts are pinned here:
   raises on genuinely negative residues (double release, never-committed
   plans) instead of clamping, and
   :func:`bulk_cpu_capacity_and_memory_backing` returns empty vectors for
-  empty account sequences (zero-server clusters).
+  empty account sequences (zero-server clusters);
+* the PR 9 tiered candidate index and multi-row scatter commit: decisions
+  at 100k servers (the band-descent regime) stay bitwise equal to
+  sequential ``place`` and the dense reference, rejection ordering
+  survives batch saturation, and an index rebuilt from scratch is
+  indistinguishable -- structurally and behaviourally -- from one
+  maintained incrementally through commit/release churn.
 """
 
 import numpy as np
@@ -23,12 +29,14 @@ import pytest
 
 from repro.core.resources import ALL_RESOURCES, Resource
 from repro.core.scheduler import (
+    _TIERED_MIN_SERVERS,
     ClusterLedger,
     ClusterScheduler,
     ServerAccount,
     bulk_cpu_capacity_and_memory_backing,
     plan_demand_matrix,
 )
+from repro.simulator.synthetic import build_scaled_bench_cluster
 from repro.core.windows import plan_vm
 from repro.prediction.utilization_model import WindowUtilizationPrediction
 from repro.trace.hardware import HARDWARE_GENERATIONS, ClusterConfig
@@ -156,6 +164,119 @@ class TestBatchedPlacement:
         # Fail-fast validation: the good predecessor was not committed.
         assert scheduler.accepted_count() == 0
         assert scheduler.servers_in_use() == 0
+
+
+class TestTieredIndexDifferential:
+    """PR 9: band-descent candidate index + provable-run scatter commits."""
+
+    def test_100k_server_batch_matches_sequential_and_dense(self):
+        # Smoke-scale version of the benchmark acceptance criterion: at
+        # 100k servers every placement flows through the tiered index
+        # (batch and sequential alike) and the batch path additionally
+        # uses provable runs with multi-row scatter commits.  All three
+        # schedulers must agree bitwise -- vm ids, accept/reject order,
+        # chosen rows -- and leave bitwise-identical ledgers.
+        cluster = build_scaled_bench_cluster(100_000)
+        rng = np.random.default_rng(17)
+        plans = [_random_plan(rng, f"vm-{i}") for i in range(60)]
+
+        batched = ClusterScheduler(cluster, WINDOWS)
+        assert batched.ledger.n_servers >= _TIERED_MIN_SERVERS
+        sequential = ClusterScheduler(cluster, WINDOWS)
+        dense = ClusterScheduler(cluster, WINDOWS, incremental=False)
+
+        expected = [sequential.place(plan) for plan in plans]
+        assert batched.place_batch(plans) == expected
+        assert [dense.place(plan) for plan in plans] == expected
+        assert all(decision.accepted for decision in expected), \
+            "a 100k-server fleet must absorb a 60-plan stream"
+        assert np.array_equal(batched.ledger.demand, sequential.ledger.demand)
+        assert np.array_equal(batched.ledger.score_base,
+                              sequential.ledger.score_base)
+        assert np.array_equal(batched.ledger.score_base,
+                              dense.ledger.score_base)
+
+    def test_saturated_batch_preserves_rejection_ordering(self):
+        # Pre-saturate the tiny cluster sequentially on both twins, then
+        # feed a batch that is mostly rejections: the provable-run
+        # protocol must reproduce the exact interleaving of residual
+        # accepts and rejects, not just the accept set.
+        rng = np.random.default_rng(23)
+        warm = [_random_plan(rng, f"warm-{i}") for i in range(20)]
+        batch = [_random_plan(rng, f"late-{i}") for i in range(120)]
+        sequential = ClusterScheduler(TINY_CLUSTER, WINDOWS)
+        batched = ClusterScheduler(TINY_CLUSTER, WINDOWS)
+        for plan in warm:
+            assert batched.place(plan) == sequential.place(plan)
+
+        expected = [sequential.place(plan) for plan in batch]
+        actual = batched.place_batch(batch)
+        assert actual == expected
+        rejected = [d.vm_id for d in expected if not d.accepted]
+        assert len(rejected) >= 60, "the batch must be rejection-dominated"
+        assert any(d.accepted for d in expected), \
+            "residual accepts must interleave with the rejections"
+        assert [d.vm_id for d in actual if not d.accepted] == rejected
+        assert np.array_equal(batched.ledger.demand, sequential.ledger.demand)
+
+    def test_rebuilt_index_matches_incrementally_maintained_twin(self):
+        # Churn commits and releases through a fleet large enough for the
+        # band-descent path, then rebuild one twin's index from scratch.
+        # The rebuilt structures must match what incremental maintenance
+        # produced, and subsequent decisions must stay bitwise equal to
+        # the never-rebuilt twin.
+        cluster = build_scaled_bench_cluster(10_000)
+        rng = np.random.default_rng(31)
+        churned = ClusterScheduler(cluster, WINDOWS)
+        twin = ClusterScheduler(cluster, WINDOWS)
+        assert churned.ledger.n_servers >= _TIERED_MIN_SERVERS
+        placed: list = []
+        for i in range(400):
+            plan = _random_plan(rng, f"vm-{i}")
+            decision = churned.place(plan)
+            assert twin.place(plan) == decision
+            if decision.accepted:
+                placed.append(plan.vm_id)
+            if placed and rng.random() < 0.4:
+                victim = placed.pop(int(rng.integers(len(placed))))
+                churned.deallocate(victim)
+                twin.deallocate(victim)
+
+        ledger = churned.ledger
+        maintained_row_band = ledger._row_band.copy()
+        maintained_bands = {band: set(members)
+                            for band, members in ledger._band_members.items()}
+        maintained_heaps = [list(heap) for heap in ledger._empty_heaps]
+
+        ledger.rebuild_candidate_index()
+
+        # Band structures are reproduced exactly by the from-scratch pass.
+        assert np.array_equal(ledger._row_band, maintained_row_band)
+        assert {band: set(members)
+                for band, members in ledger._band_members.items()} \
+            == maintained_bands
+        # Heaps only guarantee coverage: a maintained heap may carry stale
+        # entries for rows that became used again, but every currently
+        # empty row must be present, and the eagerly-cleaned top must be
+        # the globally lowest-index empty row of its kind -- the only
+        # empty row that can win a tie.
+        for kind, rebuilt in enumerate(ledger._empty_heaps):
+            kind_rows = np.flatnonzero(ledger._capacity_kind == kind)
+            empty_rows = {int(r) for r in kind_rows if not ledger.row_used[r]}
+            maintained = maintained_heaps[kind]
+            live = {row for row in maintained if not ledger.row_used[row]}
+            assert live == empty_rows == set(rebuilt)
+            if empty_rows:
+                assert maintained[0] == rebuilt[0] == min(empty_rows)
+
+        # Behavioural equality: the rebuilt index drives the same
+        # decisions as the incrementally maintained one, bitwise.
+        followup = [_random_plan(rng, f"post-{i}") for i in range(120)]
+        assert churned.place_batch(followup) \
+            == [twin.place(plan) for plan in followup]
+        assert np.array_equal(churned.ledger.score_base,
+                              twin.ledger.score_base)
+        _assert_caches_fresh(twin.ledger)
 
 
 class TestOverReleaseAccounting:

@@ -351,6 +351,75 @@ class TestRep006LedgerWrite:
 
 
 # --------------------------------------------------------------------------- #
+# REP007: tiered candidate-index direct writes
+# --------------------------------------------------------------------------- #
+class TestRep007CandidateIndexWrite:
+    def test_flags_writes_and_mutations_outside_mutators(self):
+        findings = run("""
+            from heapq import heappush
+
+            def rebalance(ledger, row, band):
+                ledger._row_band[row] = band
+                ledger._band_members[band].add(row)
+                heappush(ledger._empty_heaps[0], row)
+        """)
+        assert [f.rule_id for f in findings] == ["REP007"] * 3
+        assert any("`._row_band`" in f.message for f in findings)
+        assert any("`.add()` call on" in f.message for f in findings)
+        assert any("`heappush` on" in f.message for f in findings)
+
+    def test_read_path_pops_are_flagged(self):
+        # The read path must trust heap tops without cleaning them up
+        # itself; lazy deletion belongs to the mutators.
+        findings = run("""
+            from heapq import heappop
+
+            def best_fit_row(ledger, kind):
+                heap = ledger._empty_heaps[kind]
+                while heap and ledger.row_used[heap[0]]:
+                    heappop(ledger._empty_heaps[kind])
+        """)
+        assert rule_ids(findings) == ["REP007"]
+
+    def test_sanctioned_maintainers_are_clean(self):
+        findings = run("""
+            from heapq import heapify, heappop, heappush
+
+            class ClusterLedger:
+                def rebuild_candidate_index(self):
+                    self._row_band = None
+                    self._band_members = {}
+                    self._empty_heaps = [[]]
+                    heapify(self._empty_heaps[0])
+
+                def _index_update_row(self, row):
+                    self._band_members.setdefault(0, set()).add(row)
+                    self._row_band[row] = 0
+                    heappush(self._empty_heaps[0], row)
+                    while self._empty_heaps[0]:
+                        heappop(self._empty_heaps[0])
+        """)
+        assert findings == []
+
+    def test_reads_and_unrelated_attributes_are_clean(self):
+        findings = run("""
+            def shortlist(ledger, queue):
+                reps = [heap[0] for heap in ledger._empty_heaps if heap]
+                bands = sorted(ledger._band_members, reverse=True)
+                queue.append(bands)
+                return reps
+        """)
+        assert findings == []
+
+    def test_test_modules_are_exempt(self):
+        findings = run("""
+            def test_corrupt(ledger):
+                ledger._band_members.clear()
+        """, module="tests.test_sample")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
 # Baseline workflow
 # --------------------------------------------------------------------------- #
 class TestBaseline:
@@ -449,7 +518,7 @@ class TestCli:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                        "REP006"):
+                        "REP006", "REP007"):
             assert rule_id in out
 
 
@@ -478,7 +547,8 @@ class TestTreeClean:
         by_rule = {f.rule_id for f in findings}
         # REP002/REP003/REP004 have known, justified baselined findings.
         assert {"REP002", "REP003", "REP004"} <= by_rule
-        # REP001/REP005/REP006 must stay at zero findings tree-wide.
+        # REP001/REP005/REP006/REP007 must stay at zero findings tree-wide.
         assert "REP001" not in by_rule
         assert "REP005" not in by_rule
         assert "REP006" not in by_rule
+        assert "REP007" not in by_rule

@@ -20,7 +20,11 @@ from repro.core.policy import (
     PolicyConfig,
 )
 from repro.simulator import PolicySweepError, SimulationConfig, SweepTask
-from repro.simulator.sweep import run_sweep_task, sweep_policies
+from repro.simulator.sweep import (
+    create_sweep_executor,
+    run_sweep_task,
+    sweep_policies,
+)
 
 #: A policy whose model training raises inside the worker: numpy rejects
 #: percentiles outside [0, 100] during the forest-target computation.
@@ -92,6 +96,40 @@ class TestSweepDeterminism:
                              sweep_parallelism=16))
         assert serial == pooled
 
+    def test_external_executor_is_reused_and_left_running(
+            self, tiny_trace, sweep_policies_under_test, sweep_config):
+        """A caller-owned pool serves consecutive sweeps bitwise-identically
+        to serial and survives them (warm-worker reuse, PR 9)."""
+        serial = sweep_policies(tiny_trace, sweep_policies_under_test,
+                                sweep_config)
+        pool_config = SimulationConfig(clusters=sweep_config.clusters,
+                                       n_estimators=2, sweep_parallelism=2)
+        executor = create_sweep_executor(2)
+        try:
+            first = sweep_policies(tiny_trace, sweep_policies_under_test,
+                                   pool_config, executor=executor)
+            second = sweep_policies(tiny_trace, sweep_policies_under_test,
+                                    pool_config, executor=executor)
+            assert serial == first == second
+            # The sweep must not have shut the caller's pool down.
+            assert executor.submit(int, 7).result() == 7
+        finally:
+            executor.shutdown()
+
+    def test_external_executor_forces_pool_path(
+            self, tiny_trace, sweep_policies_under_test, sweep_config):
+        """Passing a pool opts into the pool path even when the config says
+        serial (sweep_parallelism=1) -- the caller built workers to use."""
+        executor = create_sweep_executor(2)
+        try:
+            serial = sweep_policies(tiny_trace, sweep_policies_under_test,
+                                    sweep_config)
+            pooled = sweep_policies(tiny_trace, sweep_policies_under_test,
+                                    sweep_config, executor=executor)
+            assert serial == pooled
+        finally:
+            executor.shutdown()
+
 
 class TestSweepFailures:
     def test_worker_failure_surfaces_policy_name(self, tiny_trace, sweep_config):
@@ -111,6 +149,30 @@ class TestSweepFailures:
         assert error.original_message in str(error)
         # The worker-side traceback travels with the error for debuggability.
         assert "Traceback" in error.worker_traceback
+
+    def test_failure_leaves_external_executor_usable(self, tiny_trace,
+                                                     sweep_config):
+        """A failing policy on a caller-owned pool surfaces the same
+        PolicySweepError, drains the in-flight siblings, and leaves the
+        pool alive for the caller's next sweep."""
+        executor = create_sweep_executor(2)
+        pool_config = SimulationConfig(clusters=sweep_config.clusters,
+                                       n_estimators=2, sweep_parallelism=2)
+        try:
+            with pytest.raises(PolicySweepError) as excinfo:
+                sweep_policies(
+                    tiny_trace, {"coach": COACH_POLICY, "broken": BROKEN_POLICY},
+                    pool_config, executor=executor)
+            assert excinfo.value.policy_name == "broken"
+            # The pool survived the failed sweep and still computes.
+            survivors = {"none": NO_OVERSUBSCRIPTION_POLICY,
+                         "coach": COACH_POLICY}
+            recovered = sweep_policies(tiny_trace, survivors, pool_config,
+                                       executor=executor)
+            assert recovered == sweep_policies(tiny_trace, survivors,
+                                               sweep_config)
+        finally:
+            executor.shutdown()
 
     def test_serial_failure_uses_same_exception_shape(self, tiny_trace,
                                                       sweep_config):
