@@ -40,6 +40,7 @@ TRACKED_FIELDS = (
     "characterization.speedup",
     "streaming_ingest.vms_per_second",
     "streaming_ingest.samples_per_second",
+    "scenario_matrix.vms_per_second",
 )
 
 #: Fractional drop that counts as a regression (new < old * (1 - this)).

@@ -62,6 +62,7 @@ from repro.simulator.benchmarking import (
     measure_characterization_throughput,
     measure_mmap_bounded_replay,
     measure_replay_memory,
+    measure_scenario_matrix,
     measure_scheduler_scaling,
     measure_streaming_ingest,
     measure_sweep_serial_vs_pool,
@@ -160,6 +161,11 @@ def measure_streaming(smoke: bool) -> dict:
             config, workdir, batch_vms=streaming_ingest_batch_vms(smoke=smoke))
     outcome["ru_maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return outcome
+
+
+def measure_scenarios(smoke: bool) -> dict:
+    """Scenario-matrix wall-clock: the repro.scenarios registry end to end."""
+    return measure_scenario_matrix(smoke=smoke)
 
 
 def measure_characterization(smoke: bool) -> dict:
@@ -269,6 +275,10 @@ def print_summary(record: dict) -> None:
     print(f"  character. columnar {characterization['columnar_seconds']:.2f}s"
           f" vs reference {characterization['reference_seconds']:.2f}s", end="")
     print(f"  ({characterization['speedup']:.1f}x, bitwise identical)")
+    matrix = record["scenario_matrix"]
+    print(f"  scenarios  {matrix['scenarios']} scenarios in "
+          f"{matrix['total_seconds']:.2f}s "
+          f"({matrix['vms_per_second']:.0f} VMs/s, invariants ok)")
     analysis = record["static_analysis"]
     print(f"  analysis   {analysis['active_findings']} active finding(s), "
           f"{analysis['suppressed_findings']} baselined "
@@ -307,6 +317,7 @@ def main(argv: list | None = None) -> int:
         "trace_store": measure_trace_store(smoke),
         "streaming_ingest": measure_streaming(smoke),
         "characterization": measure_characterization(smoke),
+        "scenario_matrix": measure_scenarios(smoke),
         "static_analysis": measure_static_analysis(),
     }
     print_summary(record)

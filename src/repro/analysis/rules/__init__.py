@@ -12,4 +12,5 @@ from repro.analysis.rules import (  # noqa: F401
     rep005_twins,
     rep006_ledger,
     rep007_index,
+    rep008_scenario_rng,
 )

@@ -1,11 +1,12 @@
 """REP006: ledger demand/cache arrays are only written by the row mutators.
 
 :class:`~repro.core.scheduler.ClusterLedger` keeps incremental caches
-(``demand_sum``, ``demand_peak``, ``va_peak``, ``score_base``, ``row_used``)
-alongside the raw accounting arrays (``demand``, ``pa_memory``,
-``va_demand``).  The incremental-scoring contract (``docs/architecture.md``)
-is that every mutation flows through ``commit_row`` / ``release_row`` /
-``assert_row_empty``, which refresh the caches for the touched row in the
+(``demand_sum``, ``demand_peak``, ``va_peak``, ``score_base``, ``row_used``,
+``row_available``) alongside the raw accounting arrays (``demand``,
+``pa_memory``, ``va_demand``).  The incremental-scoring contract
+(``docs/architecture.md``) is that every mutation flows through
+``commit_row`` / ``release_row`` / ``assert_row_empty`` / ``disable_row``,
+which refresh the caches for the touched row in the
 same method -- a direct write anywhere else desynchronizes the caches from
 the arrays they summarize, and nothing fails until a placement quietly
 diverges from the dense reference.
@@ -31,14 +32,15 @@ from repro.analysis.engine import ModuleContext
 _LEDGER_ARRAYS = frozenset({
     "demand", "pa_memory", "va_demand",
     "demand_sum", "demand_peak", "va_peak", "score_base", "row_used",
+    "row_available",
 })
 
 #: The sanctioned mutators: construction, the row mutators (single-row and
-#: the batched scatter), the teardown check, and the cache refresher they
-#: all delegate to.
+#: the batched scatter), the teardown check, the failure-injection flip,
+#: and the cache refresher they all delegate to.
 _ALLOWED_FUNCTIONS = frozenset({
     "__init__", "commit_row", "commit_rows", "release_row",
-    "assert_row_empty", "_refresh_row_caches",
+    "assert_row_empty", "disable_row", "_refresh_row_caches",
 })
 
 

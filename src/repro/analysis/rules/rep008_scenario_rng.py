@@ -1,0 +1,89 @@
+"""REP008: scenario randomness must derive from the scenario seed.
+
+The scenario layer (:mod:`repro.scenarios`) promises that every random
+draw in a scenario derives from the scenario's single ``seed`` through
+:func:`repro.scenarios.axes.derive_rng`, which hashes ``(seed, label)``
+into an independent sub-stream per axis.  That is what makes scenarios
+(a) reproducible -- the golden-scenario suite pins fingerprints byte for
+byte -- and (b) composable: toggling one axis cannot shift another axis's
+stream, because they never share a generator.
+
+A ``np.random.default_rng(1234)`` anywhere in the package would pass
+REP001 (it is seeded!) while silently breaking both properties: its
+stream is anchored to a literal instead of the scenario seed.  So inside
+``repro.scenarios`` this rule flags *every* numpy RNG constructor call --
+``np.random.default_rng`` / ``Generator`` / ``RandomState`` / the bit
+generators, or a directly-imported ``default_rng`` -- unless it occurs
+inside the sanctioned ``derive_rng`` helper itself.  Test modules are
+exempt, as everywhere else in the analysis suite.
+
+Modules outside ``repro.scenarios`` are not this rule's business: the
+trace generator and simulator legitimately take raw seeds (REP001 already
+polices unseeded use there).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.engine import ModuleContext
+
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: Every ``np.random`` member that constructs a generator or bit generator.
+_CONSTRUCTORS = {
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: The one function allowed to construct a generator in the package.
+_SANCTIONED_FUNCTION = "derive_rng"
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for the ``np.random`` / ``numpy.random`` attribute chain."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _NUMPY_NAMES)
+
+
+@register_rule
+class ScenarioRngRule(Rule):
+    rule_id = "REP008"
+    title = "scenario-rng-not-derived"
+    rationale = ("RNG constructed outside derive_rng anchors a scenario "
+                 "axis to a literal seed, breaking golden-scenario pins "
+                 "and axis composability")
+    interests = (ast.Call, ast.ImportFrom)
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Local aliases of `from numpy.random import default_rng [as x]`.
+        self._constructor_aliases: set = set()
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if ctx.module.is_test:
+            return
+        if not ctx.module.module.startswith("repro.scenarios"):
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in _CONSTRUCTORS:
+                        self._constructor_aliases.add(alias.asname or alias.name)
+            return
+        assert isinstance(node, ast.Call)
+        if ctx.current_function_name() == _SANCTIONED_FUNCTION:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and _is_np_random(func.value):
+            if func.attr in _CONSTRUCTORS:
+                ctx.report(self, node,
+                           f"`np.random.{func.attr}(...)` in the scenario "
+                           f"layer bypasses derive_rng(seed, label) "
+                           f"(in `{ctx.current_function_name()}`)")
+        elif isinstance(func, ast.Name) and func.id in self._constructor_aliases:
+            ctx.report(self, node,
+                       f"`{func.id}(...)` in the scenario layer bypasses "
+                       f"derive_rng(seed, label) "
+                       f"(in `{ctx.current_function_name()}`)")

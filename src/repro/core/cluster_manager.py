@@ -10,7 +10,7 @@ without oversubscription (conservative default, G2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coachvm import CoachVM
 from repro.core.policy import PolicyConfig
@@ -40,6 +40,11 @@ class AdmissionResult:
     def server_id(self) -> Optional[str]:
         return self.decision.server_id if self.decision else None
 
+    @property
+    def preempted(self) -> Tuple[str, ...]:
+        """Spot VMs evicted while admitting this request (class-aware only)."""
+        return self.decision.preempted if self.decision else ()
+
 
 @dataclass
 class ClusterManagerStats:
@@ -48,6 +53,7 @@ class ClusterManagerStats:
     rejected: int = 0
     oversubscribed: int = 0
     not_oversubscribed: int = 0
+    preempted: int = 0
     savings_gb: float = 0.0
     savings_cores: float = 0.0
 
@@ -61,14 +67,17 @@ class ClusterManager:
         policy: PolicyConfig,
         prediction_model: Optional[object] = None,
         conservative_admission: bool = True,
+        class_aware: bool = False,
     ):
         self.cluster = cluster
         self.policy = policy
+        self.class_aware = class_aware
         if prediction_model is None:
             prediction_model = NoOversubscriptionModel(policy.windows)
         self.prediction_model = prediction_model
         self.scheduler = ClusterScheduler(cluster, policy.windows,
-                                          conservative=conservative_admission)
+                                          conservative=conservative_admission,
+                                          class_aware=class_aware)
         self.stats = ClusterManagerStats()
         self._vms: Dict[str, CoachVM] = {}
         #: server id -> ordered set of resident VM ids (dict used as an
@@ -98,7 +107,11 @@ class ClusterManager:
         """Admit (or reject) one VM request."""
         self.stats.requests += 1
         plan = self.build_plan(vm)
-        decision = self.scheduler.place(plan)
+        if self.class_aware:
+            decision = self.scheduler.place(
+                plan, allocation_class=vm.allocation_class)
+        else:
+            decision = self.scheduler.place(plan)
         return self._register(vm, plan, decision)
 
     def request_batch(self, vms: Sequence[VMRecord]) -> List[AdmissionResult]:
@@ -110,8 +123,22 @@ class ClusterManager:
         per-plan preprocessing while still admitting sequentially against
         the ledger.  Results and stats are identical to calling
         :meth:`request_vm` on each record in order.
+
+        Under class-aware admission the batch path degrades to the
+        sequential loop: a preemption mid-batch invalidates the frozen
+        ledger snapshot the run-based batcher reasons against, so batching
+        could not stay decision-identical.
         """
         vms = list(vms)
+        if self.class_aware:
+            results = []
+            for vm in vms:
+                self.stats.requests += 1
+                plan = self.build_plan(vm)
+                decision = self.scheduler.place(
+                    plan, allocation_class=vm.allocation_class)
+                results.append(self._register(vm, plan, decision))
+            return results
         self.stats.requests += len(vms)
         plans = [self.build_plan(vm) for vm in vms]
         decisions = self.scheduler.place_batch(plans)
@@ -121,6 +148,14 @@ class ClusterManager:
     def _register(self, vm: VMRecord, plan: VMResourcePlan,
                   decision: PlacementDecision) -> AdmissionResult:
         """Post-placement bookkeeping shared by the single and batch paths."""
+        # The scheduler already released preempted spot VMs from its ledger;
+        # mirror that in the manager's registries (evictions stand even when
+        # the arrival itself was rejected).
+        for victim in decision.preempted:
+            coach_vm = self._vms.pop(victim, None)
+            if coach_vm is not None:
+                self._unindex(victim, coach_vm.server_id)
+            self.stats.preempted += 1
         if not decision.accepted:
             self.stats.rejected += 1
             return AdmissionResult(vm.vm_id, False, None, decision)
@@ -150,6 +185,15 @@ class ClusterManager:
         coach_vm = self._vms.pop(vm_id, None)
         if coach_vm is not None:
             self._unindex(vm_id, coach_vm.server_id)
+
+    def disable_server(self, server_id: str) -> None:
+        """Remove a failed server from the placement pool (residents stay).
+
+        Callers evacuate residents first (:meth:`vms_on_server` +
+        :meth:`deallocate`) or drop them; the flip itself only stops future
+        placements (:meth:`ClusterScheduler.disable_server`).
+        """
+        self.scheduler.disable_server(server_id)
 
     def _unindex(self, vm_id: str, server_id: Optional[str]) -> None:
         if server_id is None:

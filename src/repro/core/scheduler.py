@@ -129,7 +129,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -137,6 +137,7 @@ from repro.core.resources import ALL_RESOURCES, Resource, ResourceVector
 from repro.core.windows import VMResourcePlan
 from repro.trace.hardware import ClusterConfig, ServerConfig
 from repro.trace.timeseries import TimeWindowConfig
+from repro.trace.vm import AllocationClass
 
 #: Tolerance used by the admission checks (matches the seed implementation).
 FIT_EPSILON = 1e-6
@@ -226,7 +227,8 @@ class ClusterLedger:
 
     __slots__ = ("windows", "n_servers", "n_windows", "capacity", "demand",
                  "pa_memory", "va_demand", "demand_sum", "demand_peak",
-                 "va_peak", "score_base", "row_used", "_inv_capacity",
+                 "va_peak", "score_base", "row_used", "row_available",
+                 "_inv_capacity",
                  "_inv_counts", "_fit_threshold", "_memory_threshold",
                  "_score_safe", "_capacity_kind", "_kind_count",
                  "_kind_inv_capacity", "_kind_inv_counts", "_row_band",
@@ -255,6 +257,10 @@ class ClusterLedger:
         self.va_peak = np.zeros(self.n_servers)
         self.score_base = np.zeros(self.n_servers)
         self.row_used = np.zeros(self.n_servers, dtype=bool)
+        # Failure injection (repro.scenarios): rows flip to unavailable via
+        # disable_row and are excluded from every placement path; committed
+        # demand is unaffected (release still works on a disabled row).
+        self.row_available = np.ones(self.n_servers, dtype=bool)
         positive = capacity > 0
         self._inv_capacity = np.where(
             positive, 1.0 / np.where(positive, capacity, 1.0), 0.0)
@@ -287,16 +293,21 @@ class ClusterLedger:
     def rebuild_candidate_index(self) -> None:
         """Rebuild the tiered candidate index from the cached row state.
 
-        The index is fully derived from ``row_used`` / ``score_base`` /
-        ``_capacity_kind``, so a from-scratch rebuild must land in the same
-        state that incremental maintenance (:meth:`_index_update_row`)
-        reaches -- the churn differential suite pins exactly that.  This is
-        the bootstrap path (``__init__``) and the sanctioned recovery hook.
+        The index is fully derived from ``row_used`` / ``row_available`` /
+        ``score_base`` / ``_capacity_kind``, so a from-scratch rebuild must
+        land in the same state that incremental maintenance
+        (:meth:`_index_update_row`) reaches -- the churn differential suite
+        pins exactly that.  This is the bootstrap path (``__init__``) and the
+        sanctioned recovery hook.  Disabled rows join neither structure:
+        they can never win a placement, so indexing them would only add
+        screen work.
         """
         self._row_band = np.full(self.n_servers, -1, dtype=np.intp)
         self._band_members: Dict[int, Set[int]] = {}
         heaps: List[List[int]] = [[] for _ in range(self._kind_count)]
         for row in range(self.n_servers):
+            if not self.row_available[row]:
+                continue
             if self.row_used[row]:
                 band = int(self.score_base[row] / _BAND_WIDTH)
                 self._row_band[row] = band
@@ -390,6 +401,7 @@ class ClusterLedger:
             plan_demand, guaranteed_memory_gb, va_window_demand,
             hypothetical=hypothetical)
         mask = (vector_ok & backing_ok) if conservative else vector_ok
+        mask &= self.row_available
         if not mask.any():
             return -1
         scores = np.where(
@@ -425,6 +437,9 @@ class ClusterLedger:
         else:
             fit_hi = pa_ok & sure_ok
             sure_fail = ~pa_ok | sure_bad
+        available = self.row_available[rows]
+        fit_hi &= available
+        sure_fail |= ~available
         approx = ((self.score_base[rows]
                    + plan_mean @ self._inv_capacity[:, rows])
                   * self._inv_counts[rows])
@@ -448,7 +463,9 @@ class ClusterLedger:
                            axis=2)
         new_pa_rows = self.pa_memory[rows] + guaranteed_memory_gb
         capacity_memory = capacity[_MEMORY_INDEX]
-        fit = window_ok.all(axis=0) & (new_pa_rows <= capacity_memory + FIT_EPSILON)
+        fit = (window_ok.all(axis=0)
+               & (new_pa_rows <= capacity_memory + FIT_EPSILON)
+               & self.row_available[rows])
         if conservative:
             new_va = (self.va_demand[rows] + va_window_demand[None, :]).max(axis=1)
             fit &= (np.all(window_ok[_NON_MEMORY_INDICES], axis=0)
@@ -636,6 +653,8 @@ class ClusterLedger:
         else:
             fit_hi = pa_ok & sure_ok
             sure_fail = ~pa_ok | sure_bad
+        fit_hi &= self.row_available
+        sure_fail |= ~self.row_available
         maybe = ~sure_fail
         # fit_hi <= true fit set <= maybe (setwise); rows outside `maybe`
         # cannot fit and rows in `fit_hi` need no window re-check to count
@@ -702,14 +721,16 @@ class ClusterLedger:
         """Move one row between the tiered-index structures after a mutation.
 
         Called only from :meth:`_refresh_row_caches` (REP007), so the index
-        tracks ``row_used`` / ``score_base`` in the same call that refreshes
-        them.  A used->empty transition pushes the row back onto its kind's
-        heap; stale heap entries (rows that became used while enqueued) are
-        popped eagerly here -- the only place a row's usedness can change --
-        so the read path can trust every heap top without mutating anything.
+        tracks ``row_used`` / ``row_available`` / ``score_base`` in the same
+        call that refreshes them.  A used->empty transition pushes the row
+        back onto its kind's heap; stale heap entries (rows that became used
+        or unavailable while enqueued) are popped eagerly here -- the only
+        place a row's usedness or availability can change -- so the read
+        path can trust every heap top without mutating anything.  Disabled
+        rows (:meth:`disable_row`) leave both structures and never re-enter.
         """
         old_band = int(self._row_band[row])
-        if self.row_used[row]:
+        if self.row_used[row] and self.row_available[row]:
             band = int(self.score_base[row] / _BAND_WIDTH)
             if band != old_band:
                 if old_band >= 0:
@@ -727,12 +748,14 @@ class ClusterLedger:
                     del self._band_members[old_band]
                 self._row_band[row] = -1
                 # Seeded at __init__ and re-pushed on every used->empty
-                # transition, so every currently-empty row has an entry;
-                # empty->empty refreshes (old_band < 0) push nothing, so
-                # entries don't multiply under repeated asserts.
-                heappush(self._empty_heaps[self._capacity_kind[row]], row)
+                # transition, so every currently-empty available row has an
+                # entry; empty->empty refreshes (old_band < 0) push nothing,
+                # so entries don't multiply under repeated asserts.
+                if not self.row_used[row] and self.row_available[row]:
+                    heappush(self._empty_heaps[self._capacity_kind[row]], row)
         heap = self._empty_heaps[self._capacity_kind[row]]
-        while heap and self.row_used[heap[0]]:
+        while heap and (self.row_used[heap[0]]
+                        or not self.row_available[heap[0]]):
             heappop(heap)
 
     def commit_row(self, row: int, plan: VMResourcePlan) -> None:
@@ -826,6 +849,21 @@ class ClusterLedger:
         self.demand[:, row, :] = 0.0
         self.pa_memory[row] = 0.0
         self.va_demand[row, :] = 0.0
+        self._refresh_row_caches(row)
+
+    def disable_row(self, row: int) -> None:
+        """Mark a row failed: it never wins another placement.
+
+        Failure injection (drain or crash, see
+        :class:`repro.simulator.engine.FailureEvent`) removes a server from
+        the candidate pool without touching its committed demand -- residents
+        are the caller's problem (drains re-place them, crashes drop them),
+        and :meth:`release_row` keeps working on a disabled row so the
+        ledger's non-negativity invariants survive the evacuation.  The flip
+        is one-way: re-enabling would have to re-derive the row's index
+        placement, and no scenario needs repaired servers.
+        """
+        self.row_available[row] = False
         self._refresh_row_caches(row)
 
 
@@ -1004,12 +1042,18 @@ def bulk_cpu_capacity_and_memory_backing(accounts: Sequence[ServerAccount]):
 
 @dataclass
 class PlacementDecision:
-    """Result of asking the scheduler to place one VM."""
+    """Result of asking the scheduler to place one VM.
+
+    ``preempted`` lists the spot VMs evicted while admitting this VM under
+    class-aware admission, in eviction order; evictions stand even when the
+    arrival is ultimately rejected (real preemption is not transactional).
+    """
 
     vm_id: str
     accepted: bool
     server_id: Optional[str] = None
     reason: str = ""
+    preempted: Tuple[str, ...] = ()
 
 
 class ClusterScheduler:
@@ -1033,11 +1077,12 @@ class ClusterScheduler:
 
     def __init__(self, cluster: ClusterConfig, windows: TimeWindowConfig,
                  conservative: bool = True, decision_history: int = 256,
-                 incremental: bool = True):
+                 incremental: bool = True, class_aware: bool = False):
         self.cluster = cluster
         self.windows = windows
         self.conservative = conservative
         self.incremental = incremental
+        self.class_aware = class_aware
         server_configs = cluster.server_configs()
         self.ledger = ClusterLedger(server_configs, windows)
         self.servers: Dict[str, ServerAccount] = {}
@@ -1049,6 +1094,9 @@ class ClusterScheduler:
             self.servers[server_id] = account
             self._accounts.append(account)
         self._placements: Dict[str, str] = {}
+        # Insertion-ordered spot registry: class-aware admission evicts the
+        # oldest surviving spot VM first (dict preserves acceptance order).
+        self._spot_vms: Dict[str, None] = {}
         self._accepted = 0
         self._rejected = 0
         self.decisions: Deque[PlacementDecision] = deque(maxlen=max(0, decision_history))
@@ -1056,11 +1104,77 @@ class ClusterScheduler:
     # ------------------------------------------------------------------ #
     # Placement
     # ------------------------------------------------------------------ #
-    def place(self, plan: VMResourcePlan) -> PlacementDecision:
-        """Place a VM plan on the best-fitting server (fullest that still fits)."""
+    def place(self, plan: VMResourcePlan,
+              allocation_class: Optional[AllocationClass] = None
+              ) -> PlacementDecision:
+        """Place a VM plan on the best-fitting server (fullest that still fits).
+
+        With ``class_aware=True`` and an *allocation_class*, admission
+        becomes class-aware: a ``RESERVED`` arrival that finds no fitting
+        server preempts ``SPOT`` VMs (oldest accepted first) until it fits
+        or no spot capacity remains.  Without a class (or with
+        ``class_aware=False``) the classic class-blind path runs and draws
+        identical decisions -- class-awareness is strictly opt-in.
+        """
         if plan.windows.windows_per_day != self.windows.windows_per_day:
             raise ValueError("plan and server use different time window configurations")
-        return self._place_prepared(plan, plan_demand_matrix(plan), None)
+        plan_demand = plan_demand_matrix(plan)
+        if self.class_aware and allocation_class is not None:
+            return self._place_class_aware(plan, plan_demand, allocation_class)
+        return self._place_prepared(plan, plan_demand, None)
+
+    def _place_class_aware(self, plan: VMResourcePlan, plan_demand: np.ndarray,
+                           allocation_class: AllocationClass
+                           ) -> PlacementDecision:
+        """Class-aware admission: reserved arrivals may preempt spot VMs.
+
+        The best-fit search itself is the class-blind arithmetic
+        (:meth:`ClusterLedger.best_fit_row`); class-awareness only adds the
+        eviction loop around it, so the differential twin
+        (:class:`ReferenceLoopScheduler` with ``class_aware=True``) stays a
+        line-for-line mirror.  Evictions are not rolled back on final
+        rejection: a real preemption pipeline kills the spot VM before the
+        reserved VM boots, so the decision records them either way.
+        """
+        if plan.vm_id in self._placements:
+            raise ValueError(f"VM {plan.vm_id} is already placed on "
+                             f"{self._placements[plan.vm_id]}")
+        memory_plan = plan.plans[Resource.MEMORY]
+
+        def find_row() -> int:
+            if self.incremental:
+                return self.ledger.best_fit_row(
+                    plan_demand, memory_plan.guaranteed,
+                    memory_plan.window_oversubscribed, self.conservative)
+            return self.ledger.best_fit_row_dense(
+                plan_demand, memory_plan.guaranteed,
+                memory_plan.window_oversubscribed, self.conservative)
+
+        row = find_row()
+        preempted: List[str] = []
+        if row < 0 and allocation_class is AllocationClass.RESERVED:
+            while row < 0 and self._spot_vms:
+                victim = next(iter(self._spot_vms))
+                self.deallocate(victim)
+                preempted.append(victim)
+                row = find_row()
+        if row < 0:
+            decision = PlacementDecision(plan.vm_id, False, None,
+                                         "no server fits",
+                                         preempted=tuple(preempted))
+            self._rejected += 1
+        else:
+            best = self._accounts[row]
+            best.commit(plan)
+            self._placements[plan.vm_id] = best.server_id
+            if allocation_class is AllocationClass.SPOT:
+                self._spot_vms[plan.vm_id] = None
+            decision = PlacementDecision(plan.vm_id, True, best.server_id,
+                                         preempted=tuple(preempted))
+            self._accepted += 1
+        if self.decisions.maxlen:
+            self.decisions.append(decision)
+        return decision
 
     def place_batch(self, plans: Sequence[VMResourcePlan]) -> List[PlacementDecision]:
         """Place an arrival batch, amortizing preprocessing and commits.
@@ -1263,10 +1377,21 @@ class ClusterScheduler:
         return decision
 
     def deallocate(self, vm_id: str) -> None:
+        self._spot_vms.pop(vm_id, None)
         server_id = self._placements.pop(vm_id, None)
         if server_id is None:
             return
         self.servers[server_id].release(vm_id)
+
+    def disable_server(self, server_id: str) -> None:
+        """Take a failed server out of the placement pool (one-way).
+
+        Committed demand is untouched: the caller decides what happens to
+        residents (the simulation engine re-places them on a drain and drops
+        them on a crash, via :meth:`deallocate`, which still works on a
+        disabled server).
+        """
+        self.ledger.disable_row(self.servers[server_id]._row)
 
     def server_of(self, vm_id: str) -> Optional[str]:
         return self._placements.get(vm_id)
@@ -1308,40 +1433,68 @@ class ReferenceLoopScheduler:
     """
 
     def __init__(self, cluster: ClusterConfig, windows: TimeWindowConfig,
-                 conservative: bool = True):
+                 conservative: bool = True, class_aware: bool = False):
         self.cluster = cluster
         self.windows = windows
         self.conservative = conservative
+        self.class_aware = class_aware
         self.servers: Dict[str, ServerAccount] = {}
         for index, server_config in enumerate(cluster.server_configs()):
             server_id = f"{cluster.cluster_id}-s{index:03d}"
             self.servers[server_id] = ServerAccount(server_id, server_config, windows)
         self._placements: Dict[str, str] = {}
+        self._spot_vms: Dict[str, None] = {}
+        self._disabled: Set[str] = set()
 
-    def place(self, plan: VMResourcePlan) -> PlacementDecision:
-        if plan.vm_id in self._placements:
-            raise ValueError(f"VM {plan.vm_id} is already placed on "
-                             f"{self._placements[plan.vm_id]}")
+    def _find_best(self, plan: VMResourcePlan) -> Optional[ServerAccount]:
         best_server: Optional[ServerAccount] = None
         best_score = -1.0
         for server in self.servers.values():
+            if server.server_id in self._disabled:
+                continue
             if not server.can_fit(plan, self.conservative):
                 continue
             score = server.packing_score(plan)
             if score > best_score:
                 best_score = score
                 best_server = server
+        return best_server
+
+    def place(self, plan: VMResourcePlan,
+              allocation_class: Optional[AllocationClass] = None
+              ) -> PlacementDecision:
+        if plan.vm_id in self._placements:
+            raise ValueError(f"VM {plan.vm_id} is already placed on "
+                             f"{self._placements[plan.vm_id]}")
+        best_server = self._find_best(plan)
+        preempted: List[str] = []
+        if (self.class_aware and allocation_class is not None
+                and best_server is None
+                and allocation_class is AllocationClass.RESERVED):
+            while best_server is None and self._spot_vms:
+                victim = next(iter(self._spot_vms))
+                self.deallocate(victim)
+                preempted.append(victim)
+                best_server = self._find_best(plan)
         if best_server is None:
-            return PlacementDecision(plan.vm_id, False, None, "no server fits")
+            return PlacementDecision(plan.vm_id, False, None, "no server fits",
+                                     preempted=tuple(preempted))
         best_server.commit(plan)
         self._placements[plan.vm_id] = best_server.server_id
-        return PlacementDecision(plan.vm_id, True, best_server.server_id)
+        if (self.class_aware and allocation_class is AllocationClass.SPOT):
+            self._spot_vms[plan.vm_id] = None
+        return PlacementDecision(plan.vm_id, True, best_server.server_id,
+                                 preempted=tuple(preempted))
 
     def deallocate(self, vm_id: str) -> None:
+        self._spot_vms.pop(vm_id, None)
         server_id = self._placements.pop(vm_id, None)
         if server_id is None:
             return
         self.servers[server_id].release(vm_id)
+
+    def disable_server(self, server_id: str) -> None:
+        self._disabled.add(server_id)
 
 
 def schedule_all(scheduler: ClusterScheduler,

@@ -1,0 +1,17 @@
+"""Composable scenario engine over the trace generator and replay engine.
+
+``python -m repro.scenarios <name>`` runs one registered scenario end to
+end; ``python -m repro.scenarios --list`` enumerates the registry.  See
+:mod:`repro.scenarios.registry` for the scenario catalogue and
+:mod:`repro.scenarios.axes` for the orthogonal axes they compose.
+"""
+
+from repro.scenarios.axes import FailurePlan, derive_rng, derive_seed
+from repro.scenarios.registry import SCENARIOS, Scenario, get_scenario, scenario_names
+from repro.scenarios.runner import INVARIANTS, ScenarioResult, run_scenario
+
+__all__ = [
+    "FailurePlan", "derive_rng", "derive_seed",
+    "SCENARIOS", "Scenario", "get_scenario", "scenario_names",
+    "INVARIANTS", "ScenarioResult", "run_scenario",
+]

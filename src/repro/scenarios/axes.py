@@ -1,0 +1,132 @@
+"""Orthogonal scenario axes: fleet shape, failures, and seed derivation.
+
+A scenario (:mod:`repro.scenarios.registry`) composes four independent
+axes on top of the trace generator and the replay engine:
+
+* **fleet shape** -- explicit :class:`~repro.trace.hardware.ClusterConfig`
+  lists built here (heterogeneous generation mixes, capacity skew);
+* **workload mix** -- allocation-class weights threaded through
+  :class:`~repro.trace.generator.TraceGeneratorConfig`;
+* **demand dynamics** -- :class:`~repro.trace.patterns.SurgeConfig`
+  overlays and flash-crowd arrival bursts (generator hooks);
+* **failure injection** -- a :class:`FailurePlan` materialized into
+  :class:`~repro.simulator.engine.FailureEvent` tuples.
+
+Every random draw in this package derives from the *scenario seed* through
+:func:`derive_rng` (one sub-stream per axis label), so two runs of the same
+scenario are bitwise-identical and axes can be toggled without shifting
+each other's streams.  REP008 (``repro.analysis``) enforces exactly that:
+:func:`derive_rng` is the only sanctioned RNG constructor in this package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulator.engine import FailureEvent
+from repro.trace.hardware import ClusterConfig
+
+__all__ = [
+    "derive_seed", "derive_rng", "FailurePlan",
+    "skewed_fleet", "memory_rich_fleet",
+]
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Derive a labelled 64-bit sub-seed from the scenario seed.
+
+    SHA-256 over ``"{seed}:{label}"`` keeps sub-streams independent of each
+    other and stable across Python/numpy versions (unlike ``hash()``, which
+    is salted per process).
+    """
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(seed: int, label: str) -> np.random.Generator:
+    """The one sanctioned RNG constructor of the scenario layer (REP008)."""
+    return np.random.default_rng(derive_seed(seed, label))
+
+
+# ---------------------------------------------------------------------- #
+# Fleet-shape axis
+# ---------------------------------------------------------------------- #
+def skewed_fleet(servers_per_cluster: int = 8) -> List[ClusterConfig]:
+    """Three heterogeneous clusters with deliberately skewed capacity.
+
+    ``het-a`` mixes all four hardware generations, ``het-b`` is core-rich
+    (memory strands first), and ``het-c`` is a small memory-rich cluster
+    with triple the arrival share of its size -- so placement pressure and
+    the bottleneck resource differ per cluster.
+    """
+    n = max(4, servers_per_cluster)
+    quarter = max(1, n // 4)
+    return [
+        ClusterConfig("het-a", "region-x", (
+            ("gen4-intel", quarter), ("gen5-intel", quarter),
+            ("gen6-amd", quarter), ("gen7-amd", max(1, n - 3 * quarter)),
+        ), arrival_weight=1.0),
+        ClusterConfig("het-b", "region-x", (
+            ("gen6-amd", max(1, n - quarter)), ("gen4-intel", quarter),
+        ), arrival_weight=1.0),
+        ClusterConfig("het-c", "region-y", (
+            ("gen5-intel", max(2, n // 2)),
+        ), arrival_weight=1.5),
+    ]
+
+
+def memory_rich_fleet(servers_per_cluster: int = 8) -> List[ClusterConfig]:
+    """Two memory-rich clusters: CPU bottlenecks, memory strands."""
+    n = max(2, servers_per_cluster)
+    return [
+        ClusterConfig("mem-a", "region-x", (("gen5-intel", n),)),
+        ClusterConfig("mem-b", "region-y", (("gen5-intel", n),),
+                      arrival_weight=0.8),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Failure-injection axis
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FailurePlan:
+    """Seeded recipe for injected server failures.
+
+    Materialization draws every event from the ``"failures"`` sub-stream of
+    the scenario seed, so the same scenario always injects the same
+    failures, and changing another axis (e.g. the workload mix) never moves
+    them.  Drains are emitted before crashes; within a kind, events are
+    drawn in order, and the engine fires slot ties in this listing order.
+    """
+
+    n_drains: int = 0
+    n_crashes: int = 0
+    #: Earliest slot (inclusive) at which a failure may fire.
+    start_slot: int = 0
+    #: Latest slot (exclusive); ``None`` means the end of the trace.
+    end_slot: Optional[int] = None
+
+    def materialize(self, seed: int, clusters: Sequence[ClusterConfig],
+                    n_slots: int) -> Tuple[FailureEvent, ...]:
+        if not (self.n_drains or self.n_crashes):
+            return ()
+        rng = derive_rng(seed, "failures")
+        end = n_slots if self.end_slot is None else min(self.end_slot, n_slots)
+        if end <= self.start_slot:
+            raise ValueError("failure window is empty")
+        events: List[FailureEvent] = []
+        for kind, count in (("drain", self.n_drains),
+                            ("crash", self.n_crashes)):
+            for _ in range(count):
+                cluster = clusters[int(rng.integers(0, len(clusters)))]
+                events.append(FailureEvent(
+                    slot=int(rng.integers(self.start_slot, end)),
+                    cluster_id=cluster.cluster_id,
+                    server_index=int(rng.integers(0, cluster.server_count)),
+                    kind=kind,
+                ))
+        return tuple(events)

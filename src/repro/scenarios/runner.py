@@ -1,0 +1,168 @@
+"""Execute a scenario and reduce it to a pinnable fingerprint.
+
+The runner replays every cluster of the scenario's trace through
+:class:`~repro.simulator.engine.ClusterSimulation` (cluster-id order, the
+same deterministic walk as :func:`~repro.simulator.engine.simulate_policy`)
+under the no-oversubscription policy -- scenarios stress *admission*
+(classes, failures, dynamics), so the prediction model is kept trivial and
+training-free.  The result is a flat fingerprint dict of integer counters
+plus a SHA-256 over the decision rings, which the golden-scenario suite
+(``tests/test_golden_scenarios.py``) pins verbatim, and the scenario's
+expected invariants are checked against the live managers and ledgers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.cluster_manager import build_prediction_model
+from repro.core.policy import NO_OVERSUBSCRIPTION_POLICY
+from repro.simulator.engine import ClusterSimulation, SimulationConfig
+from repro.simulator.metrics import ViolationStats
+from repro.trace.generator import TraceGenerator
+from repro.scenarios.registry import Scenario, get_scenario
+
+__all__ = ["ScenarioResult", "run_scenario", "INVARIANTS"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a test or the CLI needs from one scenario run."""
+
+    scenario: Scenario
+    #: Flat, pinnable counters + the decision-ring hash.
+    fingerprint: Dict[str, object]
+    #: Human-readable failure messages; empty when every expected
+    #: invariant held.
+    invariant_failures: List[str]
+    #: The per-cluster simulations, in cluster-id order (live managers,
+    #: ledgers and decision rings -- for tests that dig deeper).
+    simulations: List[ClusterSimulation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_failures
+
+
+def _decision_ring_hash(simulations: List[ClusterSimulation]) -> str:
+    """SHA-256 over every cluster's decision ring, in cluster-id order."""
+    digest = hashlib.sha256()
+    for sim in simulations:
+        for decision in sim.manager.scheduler.decisions:
+            line = ":".join((
+                sim.cluster_id,
+                decision.vm_id,
+                "1" if decision.accepted else "0",
+                decision.server_id or "-",
+                ",".join(decision.preempted),
+            ))
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# Invariants
+# ---------------------------------------------------------------------- #
+def _counts_consistent(scenario: Scenario, config: SimulationConfig,
+                       simulations: List[ClusterSimulation]) -> Optional[str]:
+    for sim in simulations:
+        stats = sim.manager.stats
+        if stats.requests != stats.accepted + stats.rejected:
+            return (f"{sim.cluster_id}: requests ({stats.requests}) != "
+                    f"accepted ({stats.accepted}) + rejected "
+                    f"({stats.rejected})")
+    return None
+
+
+def _ledger_nonnegative(scenario: Scenario, config: SimulationConfig,
+                        simulations: List[ClusterSimulation]) -> Optional[str]:
+    for sim in simulations:
+        ledger = sim.manager.scheduler.ledger
+        for label, array in (("demand", ledger.demand),
+                             ("pa_memory", ledger.pa_memory),
+                             ("va_demand", ledger.va_demand)):
+            lowest = float(array.min(initial=0.0))
+            if lowest < 0.0:
+                return (f"{sim.cluster_id}: ledger {label} went negative "
+                        f"({lowest:g}) -- release residue leak")
+    return None
+
+
+def _failed_servers_empty(scenario: Scenario, config: SimulationConfig,
+                          simulations: List[ClusterSimulation]) -> Optional[str]:
+    by_cluster = {sim.cluster_id: sim for sim in simulations}
+    for event in config.failure_events:
+        sim = by_cluster.get(event.cluster_id)
+        if sim is None:
+            continue
+        server_id = f"{event.cluster_id}-s{event.server_index:03d}"
+        account = sim.manager.scheduler.servers[server_id]
+        if account.plans:
+            return (f"{server_id} failed ({event.kind}@{event.slot}) but "
+                    f"still carries {len(account.plans)} plans")
+    return None
+
+
+def _no_preemptions(scenario: Scenario, config: SimulationConfig,
+                    simulations: List[ClusterSimulation]) -> Optional[str]:
+    total = sum(sim.manager.stats.preempted for sim in simulations)
+    if total:
+        return f"{total} preemptions in a scenario that allows none"
+    return None
+
+
+#: Invariant name -> checker.  Checkers return a failure message or None.
+INVARIANTS: Dict[str, Callable] = {
+    "counts-consistent": _counts_consistent,
+    "ledger-nonnegative": _ledger_nonnegative,
+    "failed-servers-empty": _failed_servers_empty,
+    "no-preemptions": _no_preemptions,
+}
+
+
+# ---------------------------------------------------------------------- #
+# Execution
+# ---------------------------------------------------------------------- #
+def run_scenario(scenario: Union[str, Scenario]) -> ScenarioResult:
+    """Generate the scenario's trace, replay it, fingerprint, and check."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    unknown = [name for name in scenario.expected_invariants
+               if name not in INVARIANTS]
+    if unknown:
+        raise KeyError(f"scenario {scenario.name!r} expects unknown "
+                       f"invariants: {unknown}")
+    trace = TraceGenerator(scenario.generator_config()).generate()
+    config = scenario.simulation_config()
+    policy = NO_OVERSUBSCRIPTION_POLICY
+    model = build_prediction_model(policy, [])
+    simulations: List[ClusterSimulation] = []
+    violation_parts: List[ViolationStats] = []
+    for cluster_id in sorted(trace.cluster_ids()):
+        sim = ClusterSimulation(trace, cluster_id, policy, model, config)
+        violation_parts.append(sim.run().violations)
+        simulations.append(sim)
+    violations = ViolationStats.merge(violation_parts)
+    fingerprint: Dict[str, object] = {
+        "scenario": scenario.name,
+        "requested": sum(sim.manager.stats.requests for sim in simulations),
+        "accepted": sum(sim.manager.stats.accepted for sim in simulations),
+        "rejected": sum(sim.manager.stats.rejected for sim in simulations),
+        "preempted": sum(sim.manager.stats.preempted for sim in simulations),
+        "evacuated": sum(sim.evacuated for sim in simulations),
+        "crashed_vms": sum(sim.crashed_vms for sim in simulations),
+        "failure_events": len(config.failure_events),
+        "observed_server_slots": violations.observed_server_slots,
+        "cpu_violation_slots": violations.cpu_violation_slots,
+        "memory_violation_slots": violations.memory_violation_slots,
+        "decision_ring_sha256": _decision_ring_hash(simulations),
+    }
+    failures = []
+    for name in scenario.expected_invariants:
+        message = INVARIANTS[name](scenario, config, simulations)
+        if message is not None:
+            failures.append(f"{name}: {message}")
+    return ScenarioResult(scenario, fingerprint, failures, simulations)

@@ -3,6 +3,7 @@
 from repro.simulator.engine import (
     ClusterRunResult,
     ClusterSimulation,
+    FailureEvent,
     SimulationConfig,
     evaluate_policies,
     simulate_policy,
@@ -36,6 +37,7 @@ __all__ = [
     "ClusterRunResult",
     "ClusterSimulation",
     "DemandOutcome",
+    "FailureEvent",
     "MitigationTimeline",
     "PAGING_BANDWIDTH_GBPS",
     "PolicyEvaluation",

@@ -571,3 +571,50 @@ def measure_mmap_bounded_replay(trace: Trace, workdir,
         "peak_reduction": dense_peak / max(1, mmap_peak),
         "bitwise_identical": True,
     }
+
+
+def measure_scenario_matrix(*, smoke: bool = False) -> Dict[str, object]:
+    """Wall-clock the scenario registry end to end (repro.scenarios).
+
+    Runs every registered scenario (a smoke run keeps only the cheapest
+    and the most loaded one), asserts its expected invariants held, and
+    reports per-scenario wall-clock plus the aggregate admission rate
+    ``vms_per_second`` -- the headline number ``BENCH_<date>.json``
+    tracks for the scenario engine.  Fingerprints ride along so a perf
+    regression can be told apart from a behaviour change at a glance.
+    """
+    from repro.scenarios.registry import scenario_names
+    from repro.scenarios.runner import run_scenario
+
+    names = scenario_names()
+    if smoke:
+        names = ["baseline", "spot-churn-with-crashes"]
+    per_scenario: Dict[str, Dict[str, object]] = {}
+    total_requested = 0
+    total_seconds = 0.0
+    for name in names:
+        begin = time.perf_counter()
+        result = run_scenario(name)
+        seconds = time.perf_counter() - begin
+        if result.invariant_failures:
+            raise AssertionError(
+                f"scenario {name!r} violated invariants: "
+                f"{result.invariant_failures}")
+        requested = int(result.fingerprint["requested"])  # type: ignore[arg-type]
+        per_scenario[name] = {
+            "seconds": seconds,
+            "requested": requested,
+            "accepted": result.fingerprint["accepted"],
+            "preempted": result.fingerprint["preempted"],
+            "decision_ring_sha256": result.fingerprint["decision_ring_sha256"],
+        }
+        total_requested += requested
+        total_seconds += seconds
+    return {
+        "scenarios": len(names),
+        "per_scenario": per_scenario,
+        "total_requested": total_requested,
+        "total_seconds": total_seconds,
+        "vms_per_second": total_requested / max(total_seconds, 1e-9),
+        "invariants_ok": True,
+    }

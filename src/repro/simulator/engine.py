@@ -39,6 +39,27 @@ from repro.trace.trace import Trace
 from repro.trace.vm import VMRecord
 
 
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected server failure (repro.scenarios failure axis).
+
+    ``kind`` is ``"drain"`` (residents are evacuated and re-requested
+    through the normal admission path, modelling a planned decommission)
+    or ``"crash"`` (residents are lost: released and dropped from the
+    replay, modelling an abrupt hardware failure).  Either way the server
+    is disabled first, so evacuated demand can never land back on it.
+    """
+
+    slot: int
+    cluster_id: str
+    server_index: int
+    kind: str = "drain"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drain", "crash"):
+            raise ValueError(f"unknown failure kind: {self.kind!r}")
+
+
 @dataclass
 class SimulationConfig:
     """Knobs of the cluster-scale replay."""
@@ -85,6 +106,15 @@ class SimulationConfig:
     #: float buffers either way, so results are bitwise identical across
     #: transports (see :mod:`repro.simulator.sweep`).
     sweep_trace_transport: str = "auto"
+    #: Injected server failures, applied by :class:`ClusterSimulation` in
+    #: deterministic ``(slot, listing order)`` order as the replay crosses
+    #: each failure's slot.  Empty (the default) leaves the replay
+    #: bitwise-identical to a failure-free run.
+    failure_events: Tuple[FailureEvent, ...] = ()
+    #: Thread VM allocation classes into admission: reserved arrivals may
+    #: preempt spot VMs (see :meth:`ClusterScheduler.place`).  Off by
+    #: default; the classic class-blind path stays bitwise-identical.
+    class_aware_admission: bool = False
 
 
 @dataclass
@@ -110,9 +140,20 @@ class ClusterSimulation:
             config.violation_meter, chunk_slots=config.replay_chunk_slots)
         self.manager = ClusterManager(
             trace.fleet.get(cluster_id), policy, prediction_model,
-            conservative_admission=config.conservative_admission)
+            conservative_admission=config.conservative_admission,
+            class_aware=config.class_aware_admission)
         self.placed: Dict[str, VMRecord] = {}
         self.requested = 0
+        # Stable (slot, listing order) firing order for this cluster's
+        # injected failures; sorted() is stable, so ties on the slot fire
+        # in config order.
+        self._failures: List[FailureEvent] = sorted(
+            (event for event in config.failure_events
+             if event.cluster_id == cluster_id),
+            key=lambda event: event.slot)
+        self.preempted = 0
+        self.evacuated = 0
+        self.crashed_vms = 0
 
     def run(self) -> ClusterRunResult:
         store = self.trace.store
@@ -137,6 +178,7 @@ class ClusterSimulation:
         # start slot (VMRecord.validate), so no departure can become due
         # between two same-slot arrivals.
         pending_departures: List[Tuple[int, str]] = []
+        failure_index = 0
         index = 0
         while index < len(eval_vms):
             start_slot = eval_vms[index].start_slot
@@ -146,6 +188,15 @@ class ClusterSimulation:
             batch = eval_vms[index:upper]
             index = upper
             self.requested += len(batch)
+            # Failures due by this batch's slot fire first (each drains the
+            # departures due by its own slot before evacuating), so arrivals
+            # always see the post-failure fleet -- deterministically, since
+            # failures, departures, and arrivals are each totally ordered.
+            while (failure_index < len(self._failures)
+                   and self._failures[failure_index].slot <= start_slot):
+                self._apply_failure(self._failures[failure_index],
+                                    pending_departures)
+                failure_index += 1
             while pending_departures and pending_departures[0][0] <= start_slot:
                 _end_slot, vm_id = heapq.heappop(pending_departures)
                 self.manager.deallocate(vm_id)
@@ -154,10 +205,53 @@ class ClusterSimulation:
                 if result.accepted:
                     self.placed[vm.vm_id] = vm
                     heapq.heappush(pending_departures, (vm.end_slot, vm.vm_id))
+                self.preempted += len(result.preempted)
+
+        while failure_index < len(self._failures):
+            self._apply_failure(self._failures[failure_index],
+                                pending_departures)
+            failure_index += 1
 
         violations = self._measure_violations()
         return ClusterRunResult(self.cluster_id, self.manager, dict(self.placed),
                                 violations)
+
+    def _apply_failure(self, event: FailureEvent,
+                       pending_departures: List[Tuple[int, str]]) -> None:
+        """Disable one server and evacuate (drain) or drop (crash) residents.
+
+        Departures due by the failure's slot are released first so only VMs
+        actually alive at the failure are touched.  Residents leave in
+        acceptance order (the manager's per-server index preserves it); a
+        drain then re-requests the still-alive ones as one batch through
+        normal admission -- re-placements count as new requests, may preempt
+        spot VMs under class-aware admission, and land on other servers or
+        get rejected (a rejected evacuee is lost, like a crash victim).
+        """
+        while pending_departures and pending_departures[0][0] <= event.slot:
+            _end_slot, vm_id = heapq.heappop(pending_departures)
+            self.manager.deallocate(vm_id)
+        cluster = self.trace.fleet.get(self.cluster_id)
+        server_id = f"{cluster.cluster_id}-s{event.server_index:03d}"
+        residents = [coach_vm.vm_id
+                     for coach_vm in self.manager.vms_on_server(server_id)]
+        for vm_id in residents:
+            self.manager.deallocate(vm_id)
+        self.manager.disable_server(server_id)
+        if event.kind == "crash":
+            for vm_id in residents:
+                self.placed.pop(vm_id, None)
+            self.crashed_vms += len(residents)
+            return
+        evacuees = [self.placed[vm_id] for vm_id in residents
+                    if vm_id in self.placed
+                    and self.placed[vm_id].end_slot > event.slot]
+        self.evacuated += len(evacuees)
+        for vm, result in zip(evacuees,
+                              self.manager.request_batch(evacuees)):
+            if not result.accepted:
+                self.placed.pop(vm.vm_id, None)
+            self.preempted += len(result.preempted)
 
     # ------------------------------------------------------------------ #
     # Contention accounting

@@ -22,16 +22,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.trace.hardware import Fleet, default_clusters
+from repro.trace.hardware import ClusterConfig, Fleet, default_clusters
 from repro.trace.patterns import (
     SubscriptionProfile,
+    SurgeConfig,
     generate_resource_patterns,
     generate_series,
     make_subscription_profile,
+    surge_overlay,
     vm_cpu_parameters,
 )
 from repro.trace.timeseries import (
@@ -43,6 +45,7 @@ from repro.trace.timeseries import (
 from repro.trace.trace import Trace
 from repro.trace.vm import (
     VM_CATALOG,
+    AllocationClass,
     Offering,
     Subscription,
     SubscriptionType,
@@ -90,6 +93,29 @@ class TraceGeneratorConfig:
     internal_fraction: float = 0.25
     #: Fraction of VMs backing PaaS offerings.
     paas_fraction: float = 0.3
+
+    # ------------------------------------------------------------------ #
+    # Scenario hooks (repro.scenarios).  Every hook below is opt-in and
+    # draws RNG only when enabled, so the default configuration's random
+    # stream -- and every golden-trace pin built on it -- is unchanged.
+    # ------------------------------------------------------------------ #
+    #: Explicit fleet shape; ``None`` means the default C1-C10 mix scaled
+    #: by ``servers_per_cluster`` (no RNG either way).
+    clusters: Optional[List[ClusterConfig]] = None
+    #: Allocation-class mix (class value -> weight).  ``None`` leaves every
+    #: VM at the :class:`AllocationClass` default without drawing.
+    allocation_class_weights: Optional[Dict[str, float]] = None
+    #: Correlated diurnal+weekly surge overlay.  Deterministic in the slot
+    #: index (see :func:`repro.trace.patterns.surge_overlay`): enabling it
+    #: never shifts the random stream.
+    surge: Optional[SurgeConfig] = None
+    #: Arrival slots of flash-crowd bursts; with ``flash_crowd_fraction``
+    #: of VMs redirected (one extra uniform draw + one choice per VM, only
+    #: when both are set) to arrive within ``flash_crowd_spread_slots`` of
+    #: a burst.
+    flash_crowd_slots: Tuple[int, ...] = ()
+    flash_crowd_fraction: float = 0.0
+    flash_crowd_spread_slots: int = 12
 
     @property
     def n_slots(self) -> int:
@@ -203,17 +229,21 @@ class TraceGenerator:
         """
         cfg = self.config
         rng = self._rng
-        fleet = Fleet(clusters=default_clusters(cfg.servers_per_cluster))
+        fleet = Fleet(clusters=list(cfg.clusters) if cfg.clusters is not None
+                      else default_clusters(cfg.servers_per_cluster))
 
         subscriptions = self._make_subscriptions()
         cluster_ids = fleet.cluster_ids()
         cluster_probs = np.array(fleet.arrival_weights())
         cluster_probs = cluster_probs / cluster_probs.sum()
 
-        # Subscriptions are sticky to a handful of clusters.
+        # Subscriptions are sticky to a handful of clusters.  The draw is
+        # clamped to the fleet size so explicit small fleets (scenario
+        # hook) work; the default fleet has >= 3 clusters, so the clamp
+        # never binds there and the stream is unchanged.
         sub_clusters: Dict[str, List[str]] = {}
         for sub_id in subscriptions:
-            count = int(rng.integers(1, 4))
+            count = min(int(rng.integers(1, 4)), len(cluster_ids))
             sub_clusters[sub_id] = list(rng.choice(cluster_ids, size=count, replace=False,
                                                    p=cluster_probs))
         return fleet, subscriptions, sub_clusters
@@ -230,18 +260,38 @@ class TraceGenerator:
         long_running = rng.random() < cfg.long_running_fraction
         duration = self._sample_duration_slots(long_running)
         start = self._sample_start_slot(duration)
+        if cfg.flash_crowd_slots and cfg.flash_crowd_fraction > 0.0:
+            # Opt-in draws: redirect a fraction of arrivals to cluster
+            # tightly around the configured burst slots.
+            if rng.random() < cfg.flash_crowd_fraction:
+                burst = int(rng.choice(np.asarray(cfg.flash_crowd_slots)))
+                jitter = int(rng.integers(0, max(1, cfg.flash_crowd_spread_slots)))
+                start = min(max(0, burst + jitter), cfg.n_slots - 1)
         end = min(start + duration, cfg.n_slots)
         config = self._sample_config(long_running, preferred)
         cluster_id = str(rng.choice(sub_clusters[sub_id]))
+        allocation_class = AllocationClass.ON_DEMAND
+        if cfg.allocation_class_weights:
+            class_names = list(cfg.allocation_class_weights)
+            class_probs = np.array([cfg.allocation_class_weights[name]
+                                    for name in class_names], dtype=np.float64)
+            class_probs = class_probs / class_probs.sum()
+            allocation_class = AllocationClass(
+                str(rng.choice(class_names, p=class_probs)))
 
         # Large VMs tend to be somewhat better utilized.
         config_scale = 1.0 + 0.1 * np.log2(max(config.cores, 1)) / 5.0
         cpu_params = vm_cpu_parameters(profile, rng, config_scale=config_scale)
         per_resource = generate_resource_patterns(cpu_params, rng)
 
+        overlay = None
+        if cfg.surge is not None:
+            overlay = surge_overlay(cfg.surge, end - start, start)
         utilization = {}
         for resource, params in per_resource.items():
             values = generate_series(params, end - start, start, rng)
+            if overlay is not None:
+                values = np.clip(values * overlay, 0.005, 1.0)
             utilization[resource] = UtilizationSeries(values, start_slot=start)
 
         return VMRecord(
@@ -253,6 +303,7 @@ class TraceGenerator:
             end_slot=end,
             offering=subscription.offering,
             subscription_type=subscription.subscription_type,
+            allocation_class=allocation_class,
             utilization=utilization,
         )
 

@@ -191,6 +191,54 @@ def generate_series(
     return np.clip(series, 0.005, 1.0)
 
 
+@dataclass(frozen=True)
+class SurgeConfig:
+    """Correlated fleet-wide demand surges layered over every VM's series.
+
+    The overlay is a *deterministic* function of the slot index (no RNG
+    draws), so enabling it never shifts the generator's random stream: two
+    configs differing only in ``surge`` sample identical VM populations,
+    lifetimes, and noise, and differ exactly by the multiplicative overlay.
+    The diurnal term peaks once a day at ``peak_hour``; the weekly term
+    scales whole days, peaking on ``peak_weekday``.  Amplitudes are
+    fractions of the base level (0.3 -> +30% at the peak).
+    """
+
+    #: Amplitude of the shared daily surge (fraction of baseline).
+    daily_amplitude: float = 0.0
+    #: Hour of day at which the shared daily surge peaks.
+    peak_hour: float = 14.0
+    #: Width (FWHM, hours) of the shared daily surge.
+    peak_width_hours: float = 5.0
+    #: Amplitude of the weekly surge (fraction of baseline).
+    weekly_amplitude: float = 0.0
+    #: Weekday (0 = Monday) on which the weekly surge peaks.
+    peak_weekday: int = 1
+
+
+def surge_overlay(surge: SurgeConfig, n_slots: int, start_slot: int) -> np.ndarray:
+    """Per-slot multiplicative surge factors (``>= 0``), deterministically.
+
+    Shares the Gaussian-bump shape of :func:`_daily_shape` for the daily
+    term; the weekly term is a cosine over the weekday distance to
+    ``peak_weekday``.  A zero-amplitude config returns all-ones.
+    """
+    slots = np.arange(start_slot, start_slot + n_slots)
+    hour_of_day = (slots % SLOTS_PER_DAY) / SLOTS_PER_HOUR
+    weekday = (slots // SLOTS_PER_DAY) % 7
+
+    delta = np.minimum(np.abs(hour_of_day - surge.peak_hour),
+                       24.0 - np.abs(hour_of_day - surge.peak_hour))
+    sigma = surge.peak_width_hours / 2.355
+    daily = surge.daily_amplitude * np.exp(-0.5 * (delta / max(sigma, 1e-6)) ** 2)
+
+    day_delta = np.minimum(np.abs(weekday - surge.peak_weekday),
+                           7.0 - np.abs(weekday - surge.peak_weekday))
+    weekly = surge.weekly_amplitude * 0.5 * (1.0 + np.cos(np.pi * day_delta / 3.5))
+
+    return np.maximum(1.0 + daily + weekly, 0.0)
+
+
 def generate_resource_patterns(
     cpu_params: PatternParameters, rng: np.random.Generator
 ) -> Dict[Resource, PatternParameters]:

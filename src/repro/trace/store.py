@@ -76,6 +76,7 @@ from repro.trace.hardware import ClusterConfig, Fleet
 from repro.trace.timeseries import SLOTS_PER_DAY, UtilizationSeries
 from repro.trace.trace import Trace
 from repro.trace.vm import (
+    AllocationClass,
     Offering,
     Subscription,
     SubscriptionType,
@@ -84,7 +85,8 @@ from repro.trace.vm import (
 )
 
 #: On-disk format version (bumped on incompatible layout changes).
-STORE_FORMAT_VERSION = 1
+#: Version 2 added the ``alloc_class_code`` column (allocation classes).
+STORE_FORMAT_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -287,6 +289,7 @@ _COLUMNS_FILE = "columns.npz"
 #: reordering of the enums cannot silently re-label old stores).
 _OFFERING_VALUES: Tuple[str, ...] = tuple(o.value for o in Offering)
 _SUBTYPE_VALUES: Tuple[str, ...] = tuple(t.value for t in SubscriptionType)
+_ALLOC_CLASS_VALUES: Tuple[str, ...] = tuple(c.value for c in AllocationClass)
 
 
 # --------------------------------------------------------------------------- #
@@ -336,6 +339,7 @@ def _meta_jsonable(*, n_vms: int, n_slots: int, util_dtype: np.dtype,
         "resources": [r.value for r in resources],
         "offering_values": list(_OFFERING_VALUES),
         "subscription_type_values": list(_SUBTYPE_VALUES),
+        "allocation_class_values": list(_ALLOC_CLASS_VALUES),
         "cluster_ids": list(cluster_ids),
         "configs": [asdict(cfg) for cfg in configs],
         "fleet": _fleet_to_jsonable(fleet),
@@ -435,7 +439,8 @@ class TraceStore:
                  config_index: np.ndarray, cluster_ids: List[str],
                  cluster_index: np.ndarray, start_slot: np.ndarray,
                  end_slot: np.ndarray, offering_code: np.ndarray,
-                 subtype_code: np.ndarray, series_start: np.ndarray,
+                 subtype_code: np.ndarray, alloc_class_code: np.ndarray,
+                 series_start: np.ndarray,
                  row_offset: np.ndarray, row_length: np.ndarray,
                  util: Dict[Resource, np.ndarray], n_slots: int,
                  fleet: Fleet, subscriptions: Dict[str, Subscription],
@@ -451,6 +456,7 @@ class TraceStore:
         self.end_slot = end_slot
         self.offering_code = offering_code
         self.subtype_code = subtype_code
+        self.alloc_class_code = alloc_class_code
         self.series_start = series_start
         self.row_offset = row_offset
         self.row_length = row_length
@@ -505,11 +511,14 @@ class TraceStore:
         end_slot = np.zeros(n, dtype=np.int64)
         offering_code = np.zeros(n, dtype=np.int8)
         subtype_code = np.zeros(n, dtype=np.int8)
+        alloc_class_code = np.zeros(n, dtype=np.int8)
         series_start = np.zeros(n, dtype=np.int64)
         row_length = np.zeros(n, dtype=np.int64)
 
         offering_codes = {value: i for i, value in enumerate(_OFFERING_VALUES)}
         subtype_codes = {value: i for i, value in enumerate(_SUBTYPE_VALUES)}
+        alloc_class_codes = {value: i
+                             for i, value in enumerate(_ALLOC_CLASS_VALUES)}
 
         chunks: Dict[Resource, List[np.ndarray]] = {r: [] for r in resources}
         for i, vm in enumerate(vms):
@@ -537,6 +546,7 @@ class TraceStore:
             end_slot[i] = vm.end_slot
             offering_code[i] = offering_codes[vm.offering.value]
             subtype_code[i] = subtype_codes[vm.subscription_type.value]
+            alloc_class_code[i] = alloc_class_codes[vm.allocation_class.value]
             first = None
             for resource in resources:
                 series = vm.utilization[resource]
@@ -573,6 +583,7 @@ class TraceStore:
             cluster_ids=cluster_ids, cluster_index=cluster_index,
             start_slot=start_slot, end_slot=end_slot,
             offering_code=offering_code, subtype_code=subtype_code,
+            alloc_class_code=alloc_class_code,
             series_start=series_start, row_offset=row_offset,
             row_length=row_length, util=util, n_slots=trace.n_slots,
             fleet=trace.fleet, subscriptions=dict(trace.subscriptions),
@@ -826,6 +837,7 @@ class TraceStore:
             start_slot=self.start_slot[idx], end_slot=self.end_slot[idx],
             offering_code=self.offering_code[idx],
             subtype_code=self.subtype_code[idx],
+            alloc_class_code=self.alloc_class_code[idx],
             series_start=self.series_start[idx],
             row_offset=self.row_offset[idx], row_length=self.row_length[idx],
             util=self.util, n_slots=self.n_slots, fleet=self.fleet,
@@ -858,6 +870,7 @@ class TraceStore:
             start_slot=self.start_slot.copy(), end_slot=self.end_slot.copy(),
             offering_code=self.offering_code.copy(),
             subtype_code=self.subtype_code.copy(),
+            alloc_class_code=self.alloc_class_code.copy(),
             series_start=self.series_start.copy(), row_offset=row_offset,
             row_length=self.row_length.copy(), util=util, n_slots=self.n_slots,
             fleet=self.fleet, subscriptions=self.subscriptions, contiguous=True,
@@ -884,6 +897,8 @@ class TraceStore:
             end_slot=int(self.end_slot[i]),
             offering=Offering(_OFFERING_VALUES[self.offering_code[i]]),
             subscription_type=SubscriptionType(_SUBTYPE_VALUES[self.subtype_code[i]]),
+            allocation_class=AllocationClass(
+                _ALLOC_CLASS_VALUES[self.alloc_class_code[i]]),
             server_id=self.server_ids[i],
             utilization=utilization,
         )
@@ -930,6 +945,7 @@ class TraceStore:
             "end_slot": store.end_slot,
             "offering_code": store.offering_code,
             "subtype_code": store.subtype_code,
+            "alloc_class_code": store.alloc_class_code,
             "series_start": store.series_start,
             "offsets": store.offsets,
         })
@@ -957,7 +973,8 @@ class TraceStore:
         # were written with; a reordered or extended enum must fail loudly
         # instead of silently re-labelling every VM.
         for key, current in (("offering_values", _OFFERING_VALUES),
-                             ("subscription_type_values", _SUBTYPE_VALUES)):
+                             ("subscription_type_values", _SUBTYPE_VALUES),
+                             ("allocation_class_values", _ALLOC_CLASS_VALUES)):
             persisted = tuple(meta[key])
             if persisted != current:
                 raise ValueError(
@@ -992,6 +1009,7 @@ class TraceStore:
             start_slot=columns["start_slot"], end_slot=columns["end_slot"],
             offering_code=columns["offering_code"],
             subtype_code=columns["subtype_code"],
+            alloc_class_code=columns["alloc_class_code"],
             series_start=columns["series_start"],
             row_offset=offsets[:-1].astype(np.int64, copy=True),
             row_length=np.diff(offsets).astype(np.int64, copy=False),
@@ -1043,7 +1061,9 @@ class TraceStore:
             "config_index": self.config_index, "cluster_ids": self.cluster_ids,
             "cluster_index": self.cluster_index, "start_slot": self.start_slot,
             "end_slot": self.end_slot, "offering_code": self.offering_code,
-            "subtype_code": self.subtype_code, "series_start": self.series_start,
+            "subtype_code": self.subtype_code,
+            "alloc_class_code": self.alloc_class_code,
+            "series_start": self.series_start,
             "row_offset": self.row_offset, "row_length": self.row_length,
             "n_slots": self.n_slots, "fleet": self.fleet,
             "subscriptions": self.subscriptions,
@@ -1144,10 +1164,13 @@ class TraceStoreBuilder:
         self._end_slot = _GrowableColumn(np.int64)
         self._offering_code = _GrowableColumn(np.int8)
         self._subtype_code = _GrowableColumn(np.int8)
+        self._alloc_class_code = _GrowableColumn(np.int8)
         self._series_start = _GrowableColumn(np.int64)
         self._row_length = _GrowableColumn(np.int64)
         self._offering_codes = {v: i for i, v in enumerate(_OFFERING_VALUES)}
         self._subtype_codes = {v: i for i, v in enumerate(_SUBTYPE_VALUES)}
+        self._alloc_class_codes = {v: i
+                                   for i, v in enumerate(_ALLOC_CLASS_VALUES)}
         self._closed = False
 
     @property
@@ -1218,6 +1241,8 @@ class TraceStoreBuilder:
         self._end_slot.append(vm.end_slot)
         self._offering_code.append(self._offering_codes[vm.offering.value])
         self._subtype_code.append(self._subtype_codes[vm.subscription_type.value])
+        self._alloc_class_code.append(
+            self._alloc_class_codes[vm.allocation_class.value])
         first = None
         for resource in resources:
             series = vm.utilization[resource]
@@ -1318,6 +1343,7 @@ class TraceStoreBuilder:
             "end_slot": self._end_slot.values,
             "offering_code": self._offering_code.values,
             "subtype_code": self._subtype_code.values,
+            "alloc_class_code": self._alloc_class_code.values,
             "series_start": self._series_start.values,
             "offsets": offsets,
         })

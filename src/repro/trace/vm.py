@@ -32,6 +32,20 @@ class SubscriptionType(str, Enum):
     INTERNAL_TEST = "internal-test"
 
 
+class AllocationClass(str, Enum):
+    """Commercial allocation class of a VM, ordered by eviction priority.
+
+    ``RESERVED`` capacity may preempt ``SPOT`` VMs under class-aware
+    admission (see :meth:`repro.core.scheduler.ClusterScheduler.place`);
+    ``ON_DEMAND`` and ``BURSTABLE`` neither preempt nor get preempted.
+    """
+
+    RESERVED = "reserved"
+    ON_DEMAND = "on-demand"
+    SPOT = "spot"
+    BURSTABLE = "burstable"
+
+
 @dataclass(frozen=True)
 class VMConfig:
     """A sellable VM size (e.g. ``D4_v5``: 4 cores, 16 GB)."""
@@ -129,6 +143,7 @@ class VMRecord:
     end_slot: int
     offering: Offering = Offering.IAAS
     subscription_type: SubscriptionType = SubscriptionType.EXTERNAL_PRODUCTION
+    allocation_class: AllocationClass = AllocationClass.ON_DEMAND
     server_id: Optional[str] = None
     utilization: Dict[Resource, UtilizationSeries] = field(default_factory=dict)
 

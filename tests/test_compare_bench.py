@@ -18,8 +18,8 @@ import compare_bench  # noqa: E402
 
 
 def _record(plans=1000.0, largest=30.0, replay=5e6, sweep=1.5,
-            characterization=8.0, vms=900.0, samples=4e5, *, smoke=False,
-            revision="abc1234"):
+            characterization=8.0, vms=900.0, samples=4e5,
+            scenario_vms=800.0, *, smoke=False, revision="abc1234"):
     return {
         "git_revision": revision,
         "smoke": smoke,
@@ -30,6 +30,7 @@ def _record(plans=1000.0, largest=30.0, replay=5e6, sweep=1.5,
         "characterization": {"speedup": characterization},
         "streaming_ingest": {"vms_per_second": vms,
                              "samples_per_second": samples},
+        "scenario_matrix": {"vms_per_second": scenario_vms},
     }
 
 

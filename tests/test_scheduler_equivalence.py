@@ -92,3 +92,187 @@ def test_vectorized_matches_reference_per_server_state():
         for resource in ALL_RESOURCES:
             np.testing.assert_array_equal(account.window_demand[resource],
                                           ref_account.window_demand[resource])
+
+
+# ---------------------------------------------------------------------- #
+# Class-aware admission (reserved preempts spot) -- differential twins
+# ---------------------------------------------------------------------- #
+from repro.trace.vm import AllocationClass  # noqa: E402
+
+_CLASSES = (AllocationClass.RESERVED, AllocationClass.ON_DEMAND,
+            AllocationClass.SPOT, AllocationClass.BURSTABLE)
+_CLASS_PROBS = (0.3, 0.2, 0.4, 0.1)
+
+
+def random_class(rng):
+    return _CLASSES[int(rng.choice(len(_CLASSES), p=_CLASS_PROBS))]
+
+
+@pytest.mark.parametrize("seed", [1, 11, 2025])
+def test_class_aware_matches_reference_loop(seed):
+    """Identical decisions AND identical eviction lists under preemption."""
+    rng = np.random.default_rng(seed)
+    vectorized = ClusterScheduler(MIXED_CLUSTER, WINDOWS, class_aware=True)
+    reference = ReferenceLoopScheduler(MIXED_CLUSTER, WINDOWS, class_aware=True)
+
+    live = []
+    preemptions = 0
+    rejected_with_evictions = 0
+    for i in range(400):
+        plan = random_plan(rng, f"vm-{i}")
+        allocation_class = random_class(rng)
+        vec = vectorized.place(plan, allocation_class=allocation_class)
+        ref = reference.place(plan, allocation_class=allocation_class)
+        assert vec.accepted == ref.accepted, plan.vm_id
+        assert vec.server_id == ref.server_id, plan.vm_id
+        # Preemption order is part of the contract: oldest surviving spot
+        # VM first, re-searching after every eviction.
+        assert vec.preempted == ref.preempted, plan.vm_id
+        preemptions += len(vec.preempted)
+        if not vec.accepted and vec.preempted:
+            rejected_with_evictions += 1
+        for victim in vec.preempted:
+            if victim in live:
+                live.remove(victim)
+        if vec.accepted:
+            live.append(plan.vm_id)
+        if live and rng.random() < 0.25:
+            victim = live.pop(int(rng.integers(len(live))))
+            vectorized.deallocate(victim)
+            reference.deallocate(victim)
+
+    # The workload must actually exercise the preemption machinery.
+    assert preemptions > 0
+    for server_id, account in vectorized.servers.items():
+        assert set(account.plans) == set(reference.servers[server_id].plans)
+
+
+def test_reserved_rejection_keeps_evictions_in_order():
+    """A reserved arrival too big for the cluster still evicts every spot
+    VM (oldest first) before rejecting -- identically in both twins."""
+    rng = np.random.default_rng(5)
+    small = ClusterConfig("EQ1", "test", (("gen4-intel", 1),))
+    vectorized = ClusterScheduler(small, WINDOWS, class_aware=True)
+    reference = ReferenceLoopScheduler(small, WINDOWS, class_aware=True)
+
+    spot_ids = []
+    for i in range(100):
+        plan = random_plan(rng, f"spot-{i}")
+        vec = vectorized.place(plan, allocation_class=AllocationClass.SPOT)
+        ref = reference.place(plan, allocation_class=AllocationClass.SPOT)
+        assert vec.accepted == ref.accepted
+        if vec.accepted:
+            spot_ids.append(plan.vm_id)
+    assert len(spot_ids) >= 2
+
+    # An impossible reserved request: bigger than the whole server.
+    n = WINDOWS.windows_per_day
+    ones = {r: np.ones(n) for r in ALL_RESOURCES}
+    prediction = WindowUtilizationPrediction(
+        windows=WINDOWS, percentile=ones, maximum=ones)
+    huge = plan_vm("huge", {Resource.CPU: 4096.0, Resource.MEMORY: 65536.0,
+                            Resource.NETWORK: 1000.0, Resource.SSD: 1e6},
+                   prediction, oversubscribe=False)
+    vec = vectorized.place(huge, allocation_class=AllocationClass.RESERVED)
+    ref = reference.place(huge, allocation_class=AllocationClass.RESERVED)
+    assert not vec.accepted and not ref.accepted
+    # Evictions stand on rejection, in acceptance (FIFO) order.
+    assert vec.preempted == tuple(spot_ids)
+    assert ref.preempted == tuple(spot_ids)
+    assert vectorized.servers_in_use() == 0
+
+
+def test_class_aware_flag_without_class_is_class_blind():
+    """place() without an allocation class draws the classic decisions even
+    on a class-aware scheduler: class-awareness is strictly opt-in."""
+    rng = np.random.default_rng(17)
+    plans = [random_plan(rng, f"vm-{i}") for i in range(150)]
+    blind = ClusterScheduler(MIXED_CLUSTER, WINDOWS)
+    aware = ClusterScheduler(MIXED_CLUSTER, WINDOWS, class_aware=True)
+    for plan in plans:
+        expected = blind.place(plan)
+        actual = aware.place(plan)
+        assert (actual.accepted, actual.server_id, actual.preempted) == \
+            (expected.accepted, expected.server_id, expected.preempted)
+
+
+# ---------------------------------------------------------------------- #
+# Failure injection (disable_server) -- differential twins
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [3, 42])
+def test_drain_during_saturation_matches_reference_loop(seed):
+    """Disabling servers mid-churn (with forced re-placement of their
+    residents) keeps the vectorized scheduler decision-identical."""
+    rng = np.random.default_rng(seed)
+    vectorized = ClusterScheduler(MIXED_CLUSTER, WINDOWS)
+    reference = ReferenceLoopScheduler(MIXED_CLUSTER, WINDOWS)
+    server_ids = list(vectorized.servers)
+
+    plans = {}
+    residents = {server_id: [] for server_id in server_ids}
+    disabled = []
+    redirected = 0
+    for i in range(300):
+        plan = random_plan(rng, f"vm-{i}")
+        plans[plan.vm_id] = plan
+        vec = vectorized.place(plan)
+        ref = reference.place(plan)
+        assert (vec.accepted, vec.server_id) == (ref.accepted, ref.server_id)
+        if vec.accepted:
+            assert vec.server_id not in disabled
+            if disabled:
+                redirected += 1
+            residents[vec.server_id].append(plan.vm_id)
+        # Interleaved departures keep capacity churning so evacuees and
+        # post-drain arrivals have somewhere to land.
+        if rng.random() < 0.25:
+            alive = [vm_id for ids in residents.values() for vm_id in ids]
+            if alive:
+                victim = alive[int(rng.integers(len(alive)))]
+                vectorized.deallocate(victim)
+                reference.deallocate(victim)
+                for ids in residents.values():
+                    if victim in ids:
+                        ids.remove(victim)
+                        break
+        if i in (120, 200) and len(disabled) < len(server_ids) - 1:
+            # Drain: evacuate residents, disable, re-place the evacuees
+            # through normal admission -- mirrored on both schedulers.
+            victim_server = server_ids[len(disabled)]
+            evacuees = residents.pop(victim_server)
+            for vm_id in evacuees:
+                vectorized.deallocate(vm_id)
+                reference.deallocate(vm_id)
+            vectorized.disable_server(victim_server)
+            reference.disable_server(victim_server)
+            disabled.append(victim_server)
+            for vm_id in evacuees:
+                vec = vectorized.place(plans[vm_id])
+                ref = reference.place(plans[vm_id])
+                assert (vec.accepted, vec.server_id) == \
+                    (ref.accepted, ref.server_id)
+                if vec.accepted:
+                    assert vec.server_id not in disabled
+                    residents[vec.server_id].append(vm_id)
+                    redirected += 1
+
+    assert disabled and redirected > 0
+    for server_id in disabled:
+        assert len(vectorized.servers[server_id].plans) == 0
+    for server_id, account in vectorized.servers.items():
+        assert set(account.plans) == set(reference.servers[server_id].plans)
+
+
+@pytest.mark.parametrize("incremental", [True, False])
+def test_disabled_server_never_wins(incremental):
+    """An empty disabled server is skipped by every best-fit path."""
+    rng = np.random.default_rng(8)
+    scheduler = ClusterScheduler(MIXED_CLUSTER, WINDOWS,
+                                 incremental=incremental)
+    target = next(iter(scheduler.servers))
+    scheduler.disable_server(target)
+    for i in range(60):
+        decision = scheduler.place(random_plan(rng, f"vm-{i}"))
+        if decision.accepted:
+            assert decision.server_id != target
+    assert len(scheduler.servers[target].plans) == 0

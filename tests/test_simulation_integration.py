@@ -22,9 +22,15 @@ from repro.experiments.overheads import (
 from repro.core.resources import ALL_RESOURCES
 from repro.prediction.contention import TwoLevelContentionPredictor
 from repro.prediction.utilization_model import NoOversubscriptionModel
-from repro.simulator import SimulationConfig, evaluate_policies, simulate_policy
+from repro.simulator import (
+    FailureEvent,
+    SimulationConfig,
+    evaluate_policies,
+    simulate_policy,
+)
 from repro.simulator.engine import ClusterSimulation
 from repro.trace.hardware import ClusterConfig, Fleet
+from repro.trace.timeseries import SLOTS_PER_DAY
 from repro.trace.timeseries import UtilizationSeries
 from repro.trace.trace import Trace
 from repro.trace.vm import VM_CATALOG, VMRecord
@@ -89,6 +95,112 @@ class TestTruncatedSeriesReplay:
         assert result.violations.observed_server_slots == 80
         assert result.violations.cpu_violation_fraction == pytest.approx(0.0)
         assert result.violations.memory_violation_fraction == pytest.approx(0.0)
+
+
+class TestFailureInjection:
+    """Injected drains/crashes end-to-end through :class:`ClusterSimulation`."""
+
+    @staticmethod
+    def _run(trace, cluster_id, config):
+        policy = NO_OVERSUBSCRIPTION_POLICY
+        sim = ClusterSimulation(trace, cluster_id, policy,
+                                NoOversubscriptionModel(policy.windows), config)
+        return sim, sim.run()
+
+    def test_drain_empties_server_and_reroutes_residents(self, small_trace):
+        cluster_id = small_trace.cluster_ids()[0]
+        drain = FailureEvent(slot=10 * SLOTS_PER_DAY, cluster_id=cluster_id,
+                             server_index=0, kind="drain")
+        config = SimulationConfig(clusters=[cluster_id],
+                                  failure_events=(drain,))
+        sim, result = self._run(small_trace, cluster_id, config)
+        drained_server = f"{cluster_id}-s000"
+        assert len(sim.manager.scheduler.servers[drained_server].plans) == 0
+        # The drain actually had residents to evacuate on this trace.
+        assert sim.evacuated > 0
+        assert sim.crashed_vms == 0
+        # Surviving placements all sit on still-enabled servers.
+        ledger = sim.manager.scheduler.ledger
+        for server_id, account in sim.manager.scheduler.servers.items():
+            if account.plans:
+                row = sim.manager.scheduler.servers[server_id]._row
+                assert ledger.row_available[row]
+
+    def test_crash_drops_residents_from_replay(self, small_trace):
+        cluster_id = small_trace.cluster_ids()[0]
+        crash = FailureEvent(slot=10 * SLOTS_PER_DAY, cluster_id=cluster_id,
+                             server_index=0, kind="crash")
+        config = SimulationConfig(clusters=[cluster_id],
+                                  failure_events=(crash,))
+        sim, result = self._run(small_trace, cluster_id, config)
+        crashed_server = f"{cluster_id}-s000"
+        assert len(sim.manager.scheduler.servers[crashed_server].plans) == 0
+        assert sim.crashed_vms > 0
+        # Crash victims vanish from the replay set entirely.
+        baseline_config = SimulationConfig(clusters=[cluster_id])
+        _, baseline = self._run(small_trace, cluster_id, baseline_config)
+        assert len(result.placed_vms) == (len(baseline.placed_vms)
+                                          - sim.crashed_vms)
+        # Lost occupancy shows up as fewer observed server-slots.
+        assert (result.violations.observed_server_slots
+                < baseline.violations.observed_server_slots)
+
+    def test_empty_failure_list_is_bitwise_baseline(self, small_trace):
+        cluster_id = small_trace.cluster_ids()[0]
+        _, with_empty = self._run(
+            small_trace, cluster_id,
+            SimulationConfig(clusters=[cluster_id], failure_events=()))
+        _, baseline = self._run(
+            small_trace, cluster_id, SimulationConfig(clusters=[cluster_id]))
+        assert set(with_empty.placed_vms) == set(baseline.placed_vms)
+        assert with_empty.violations == baseline.violations
+
+    def test_failures_leave_no_negative_ledger_residue(self, small_trace):
+        cluster_id = small_trace.cluster_ids()[0]
+        events = (
+            FailureEvent(8 * SLOTS_PER_DAY, cluster_id, 0, "drain"),
+            FailureEvent(9 * SLOTS_PER_DAY, cluster_id, 1, "crash"),
+            FailureEvent(11 * SLOTS_PER_DAY, cluster_id, 2, "drain"),
+        )
+        config = SimulationConfig(clusters=[cluster_id], failure_events=events)
+        sim, _ = self._run(small_trace, cluster_id, config)
+        ledger = sim.manager.scheduler.ledger
+        assert float(ledger.demand.min(initial=0.0)) >= 0.0
+        assert float(ledger.pa_memory.min(initial=0.0)) >= 0.0
+        assert float(ledger.va_demand.min(initial=0.0)) >= 0.0
+
+    def test_failure_run_is_deterministic(self, small_trace):
+        cluster_id = small_trace.cluster_ids()[0]
+        events = (FailureEvent(8 * SLOTS_PER_DAY, cluster_id, 0, "drain"),
+                  FailureEvent(8 * SLOTS_PER_DAY, cluster_id, 1, "crash"))
+        config = SimulationConfig(clusters=[cluster_id], failure_events=events)
+        sim_a, run_a = self._run(small_trace, cluster_id, config)
+        sim_b, run_b = self._run(small_trace, cluster_id, config)
+        assert set(run_a.placed_vms) == set(run_b.placed_vms)
+        assert run_a.violations == run_b.violations
+        assert (sim_a.evacuated, sim_a.crashed_vms, sim_a.preempted) == \
+            (sim_b.evacuated, sim_b.crashed_vms, sim_b.preempted)
+
+    def test_unknown_failure_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(slot=0, cluster_id="C", server_index=0, kind="flood")
+
+
+class TestClassAwareAdmission:
+    def test_on_demand_only_trace_matches_class_blind_run(self, small_trace):
+        """With every VM on-demand (the generator default), the class-aware
+        path must reproduce the classic decisions bitwise: no spot exists to
+        preempt, so the extra machinery is a strict no-op."""
+        config = SimulationConfig(clusters=list(small_trace.cluster_ids()),
+                                  class_aware_admission=True, n_estimators=3)
+        blind_config = SimulationConfig(
+            clusters=list(small_trace.cluster_ids()), n_estimators=3)
+        aware = simulate_policy(small_trace, NO_OVERSUBSCRIPTION_POLICY, config)
+        blind = simulate_policy(small_trace, NO_OVERSUBSCRIPTION_POLICY,
+                                blind_config)
+        assert aware.accepted_vms == blind.accepted_vms
+        assert aware.rejected_vms == blind.rejected_vms
+        assert aware.violations == blind.violations
 
 
 class TestExperimentsRegistry:

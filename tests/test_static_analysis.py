@@ -420,6 +420,71 @@ class TestRep007CandidateIndexWrite:
 
 
 # --------------------------------------------------------------------------- #
+# REP008: scenario RNG must derive from the scenario seed
+# --------------------------------------------------------------------------- #
+class TestRep008ScenarioRng:
+    def test_flags_literal_seeded_rng_in_scenario_layer(self):
+        # Seeded, so REP001-clean -- but anchored to a literal instead of
+        # the scenario seed, which is exactly what REP008 exists to catch.
+        findings = run("""
+            import numpy as np
+
+            def surge_slots(n):
+                rng = np.random.default_rng(1234)
+                return rng.integers(0, n, size=4)
+        """, module="repro.scenarios.sample")
+        assert rule_ids(findings) == ["REP008"]
+        assert "bypasses derive_rng" in findings[0].message
+        assert "`surge_slots`" in findings[0].message
+
+    def test_flags_imported_constructor_alias(self):
+        findings = run("""
+            from numpy.random import default_rng as rng_factory
+
+            def pick(seed):
+                return rng_factory(seed)
+        """, module="repro.scenarios.sample")
+        assert rule_ids(findings) == ["REP008"]
+        assert "`rng_factory(...)`" in findings[0].message
+
+    def test_flags_bit_generator_construction(self):
+        findings = run("""
+            import numpy as np
+
+            def make(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+        """, module="repro.scenarios.sample")
+        assert [f.rule_id for f in findings] == ["REP008"] * 2
+
+    def test_derive_rng_itself_is_sanctioned(self):
+        findings = run("""
+            import numpy as np
+
+            def derive_rng(seed, label):
+                return np.random.default_rng(seed)
+        """, module="repro.scenarios.axes")
+        assert findings == []
+
+    def test_modules_outside_scenarios_are_not_its_business(self):
+        findings = run("""
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+        """, module="repro.trace.sample")
+        assert findings == []
+
+    def test_test_modules_are_exempt(self):
+        findings = run("""
+            import numpy as np
+
+            def helper():
+                return np.random.default_rng(42)
+        """, module="tests.test_scenarios_sample")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
 # Baseline workflow
 # --------------------------------------------------------------------------- #
 class TestBaseline:
@@ -518,7 +583,7 @@ class TestCli:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                        "REP006", "REP007"):
+                        "REP006", "REP007", "REP008"):
             assert rule_id in out
 
 
@@ -547,8 +612,10 @@ class TestTreeClean:
         by_rule = {f.rule_id for f in findings}
         # REP002/REP003/REP004 have known, justified baselined findings.
         assert {"REP002", "REP003", "REP004"} <= by_rule
-        # REP001/REP005/REP006/REP007 must stay at zero findings tree-wide.
+        # REP001/REP005/REP006/REP007/REP008 must stay at zero findings
+        # tree-wide.
         assert "REP001" not in by_rule
         assert "REP005" not in by_rule
         assert "REP006" not in by_rule
         assert "REP007" not in by_rule
+        assert "REP008" not in by_rule

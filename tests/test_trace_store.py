@@ -31,7 +31,7 @@ from repro.simulator import (
     simulate_policy,
     sweep_policies,
 )
-from repro.trace.store import TraceStore
+from repro.trace.store import STORE_FORMAT_VERSION, TraceStore
 from repro.trace.timeseries import UtilizationSeries
 from repro.trace.trace import Trace
 from repro.trace.vm import VM_CATALOG, VMRecord
@@ -271,7 +271,8 @@ class TestPersistence:
         store.save(tmp_path / "store")
         meta = (tmp_path / "store" / "meta.json")
         meta.write_text(meta.read_text().replace(
-            '"format_version": 1', '"format_version": 99'))
+            f'"format_version": {STORE_FORMAT_VERSION}',
+            '"format_version": 99'))
         with pytest.raises(ValueError, match="format version"):
             TraceStore.open(tmp_path / "store")
 
